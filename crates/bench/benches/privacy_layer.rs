@@ -1,0 +1,44 @@
+//! Criterion bench behind Fig. 5b's ablation: the privacy layer's
+//! inference cost (none — it is a scalar divide before softmax) and its
+//! effect on the attack's search space.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pelican::workbench::Scenario;
+use pelican::PrivacyLayer;
+use pelican_attacks::interest_locations;
+use pelican_mobility::{Scale, SpatialLevel};
+
+fn bench_privacy(c: &mut Criterion) {
+    let scenario = Scenario::builder(Scale::Tiny, SpatialLevel::Building)
+        .seed(42)
+        .personal_users(1)
+        .build();
+    let user = &scenario.personal[0];
+    let xs = user.test[0].xs.clone();
+
+    let mut group = c.benchmark_group("privacy_layer");
+
+    let plain = user.model.clone();
+    group.bench_function("predict_no_defense", |b| {
+        b.iter(|| plain.predict_proba(std::hint::black_box(&xs)))
+    });
+
+    let mut defended = user.model.clone();
+    PrivacyLayer::default().apply(&mut defended);
+    group.bench_function("predict_with_defense", |b| {
+        b.iter(|| defended.predict_proba(std::hint::black_box(&xs)))
+    });
+
+    let probes = pelican_attacks::prior::random_probes(&scenario.dataset.space, 24, 1);
+    group.bench_function("interest_set_no_defense", |b| {
+        b.iter(|| interest_locations(&plain, std::hint::black_box(&probes), 0.01))
+    });
+    group.bench_function("interest_set_with_defense", |b| {
+        b.iter(|| interest_locations(&defended, std::hint::black_box(&probes), 0.01))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_privacy);
+criterion_main!(benches);

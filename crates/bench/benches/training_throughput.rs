@@ -1,0 +1,53 @@
+//! Criterion bench behind the §V-C2 overhead table: throughput of
+//! cloud-style general training vs the on-device personalization methods.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pelican::{personalize, PersonalizationConfig, PersonalizationMethod};
+use pelican_mobility::{CampusConfig, DatasetBuilder, Scale, SpatialLevel};
+use pelican_nn::{fit, SequenceModel, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_training(c: &mut Criterion) {
+    let dataset =
+        DatasetBuilder::new(CampusConfig::for_scale(Scale::Tiny), 42).build(SpatialLevel::Building);
+    let contributor_samples = dataset.pooled_samples(0..4);
+    let user_samples = dataset.user_samples(5);
+    let dim = dataset.space.dim();
+    let classes = dataset.n_locations();
+
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+
+    let one_epoch = TrainConfig { epochs: 1, batch_size: 32, ..TrainConfig::default() };
+    group.bench_function("general_epoch", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut model = SequenceModel::general_lstm(dim, 24, classes, 0.1, &mut rng);
+            fit(&mut model, &contributor_samples, &one_epoch)
+        })
+    });
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let general = SequenceModel::general_lstm(dim, 24, classes, 0.1, &mut rng);
+    let config = PersonalizationConfig {
+        train: TrainConfig { epochs: 2, batch_size: 16, ..TrainConfig::default() },
+        hidden_dim: 24,
+        dropout: 0.1,
+        seed: 7,
+    };
+    for method in [
+        PersonalizationMethod::TlFeatureExtract,
+        PersonalizationMethod::TlFineTune,
+        PersonalizationMethod::Lstm,
+    ] {
+        group.bench_function(format!("personalize_{}", method.name().replace(' ', "_")), |b| {
+            b.iter(|| personalize(&general, &user_samples, method, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! One module per group of paper experiments.
+//!
+//! | module | regenerates |
+//! |---|---|
+//! | [`attack_methods`] | Fig. 2a, Table II |
+//! | [`adversaries`] | Fig. 2b, Fig. 2c |
+//! | [`spatial`] | Fig. 3a, Fig. 3b, Fig. 3c |
+//! | [`personalization`] | Table III, Table IV, §V-C2 overhead |
+//! | [`defense`] | Fig. 5a, Fig. 5b, Fig. 5c |
+//! | [`ablation`] | defense comparison, interest threshold, GD config, freeze depth |
+
+pub mod ablation;
+pub mod adversaries;
+pub mod attack_methods;
+pub mod defense;
+pub mod personalization;
+pub mod spatial;
+
+use pelican::workbench::Scenario;
+use pelican::PersonalizationMethod;
+use pelican_mobility::SpatialLevel;
+
+use crate::RunConfig;
+
+/// Builds the standard experimental scenario for a run configuration:
+/// TL-feature-extraction personalization (the paper's §IV default) at the
+/// requested spatial level.
+pub fn scenario(config: &RunConfig, level: SpatialLevel) -> Scenario {
+    scenario_with(config, level, PersonalizationMethod::TlFeatureExtract)
+}
+
+/// Builds a scenario with an explicit personalization method.
+pub fn scenario_with(
+    config: &RunConfig,
+    level: SpatialLevel,
+    method: PersonalizationMethod,
+) -> Scenario {
+    Scenario::builder(config.scale, level)
+        .seed(config.seed)
+        .personal_users(config.personal_users())
+        .method(method)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelican_mobility::Scale;
+
+    #[test]
+    fn tiny_scenario_builds() {
+        let config = RunConfig { scale: Scale::Tiny, users: Some(1), ..RunConfig::default() };
+        let s = scenario(&config, SpatialLevel::Building);
+        assert_eq!(s.personal.len(), 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! **Pelican**: privacy-preserving personalization of next-location models
+//! for distributed mobile services.
+//!
+//! This crate is the top of the workspace reproducing *Atrey, Shenoy &
+//! Jensen, "Preserving Privacy in Personalized Models for Distributed
+//! Mobile Services" (ICDCS 2021)*. It assembles the substrates — the
+//! [`pelican_nn`] LSTM stack, the [`pelican_mobility`] campus simulator and
+//! the [`pelican_attacks`] inversion attacks — into the paper's end-to-end
+//! system (Fig. 4):
+//!
+//! 1. **Cloud-based initial training** ([`CloudTrainer`]): a general
+//!    next-location LSTM trained on many contributors' trajectories.
+//! 2. **Device-based personalization** ([`DevicePersonalizer`]): the
+//!    general model is downloaded to the user's device and adapted to the
+//!    user's private history by transfer learning — feature extraction or
+//!    fine tuning ([`PersonalizationMethod`]) — without the raw data ever
+//!    leaving the device.
+//! 3. **Model deployment** ([`Deployment`]): on-device or cloud-hosted
+//!    black-box serving.
+//! 4. **Model updates**: re-invoking transfer learning as new personal data
+//!    accumulates.
+//!
+//! The privacy enhancement (§V-B) is an inference-time temperature layer
+//! ([`privacy::PrivacyLayer`]) that sharpens confidence scores, starving
+//! inversion attacks of signal while preserving top-k rankings.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pelican::workbench::Scenario;
+//! use pelican_mobility::{Scale, SpatialLevel};
+//!
+//! // Builds a tiny campus, trains a general model and personalizes it for
+//! // one user (sizes kept minimal for the doc test).
+//! let scenario = Scenario::builder(Scale::Tiny, SpatialLevel::Building)
+//!     .seed(7)
+//!     .personal_users(1)
+//!     .build();
+//! let user = &scenario.personal[0];
+//! assert!(user.model.output_dim() > 0);
+//! ```
+
+pub mod defenses;
+pub mod personalize;
+pub mod platform;
+pub mod privacy;
+pub mod stats;
+pub mod system;
+pub mod workbench;
+
+pub use defenses::DefenseKind;
+pub use personalize::{personalize, PersonalizationConfig, PersonalizationMethod};
+pub use platform::{ComputeTier, NetworkLink, ResourceUsage};
+pub use privacy::{reduction_in_leakage, PrivacyLayer};
+pub use system::{CloudTrainer, Deployment, DevicePersonalizer, PelicanService, ServiceError};

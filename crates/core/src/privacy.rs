@@ -1,0 +1,142 @@
+//! The Pelican privacy enhancement (§V-B): inference-time confidence
+//! sharpening.
+//!
+//! The attack of [`pelican_attacks`] thrives on graded confidence scores:
+//! each enumerated candidate is scored by how confident the model is in the
+//! observed output. Pelican inserts a temperature layer between the linear
+//! head and the softmax *at inference only*: dividing logits by a
+//! temperature `T → 0` drives the top confidence toward 1 and the rest
+//! toward 0, so candidates become indistinguishable and the attack
+//! degenerates to the adversary's prior — while the *ranking* of
+//! confidences, and hence the service's top-k accuracy, is unchanged
+//! (up to floating-point precision).
+
+use serde::{Deserialize, Serialize};
+
+use pelican_nn::SequenceModel;
+
+/// A user-chosen privacy setting: the temperature applied at inference.
+///
+/// The paper frames the temperature as a *privacy tuner* the user controls
+/// and keeps secret from the service provider; smaller values mean more
+/// privacy. `PrivacyLayer::default()` uses the paper's strongest evaluated
+/// setting, `T = 1e-3`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyLayer {
+    temperature: f32,
+}
+
+impl PrivacyLayer {
+    /// Creates a privacy layer with the given temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < temperature <= 1` — temperatures above 1 would
+    /// *flatten* confidences, leaking relative ordering more readily, and
+    /// are never what the defense wants.
+    pub fn new(temperature: f32) -> Self {
+        assert!(
+            temperature > 0.0 && temperature <= 1.0 && temperature.is_finite(),
+            "privacy temperature must be in (0, 1], got {temperature}"
+        );
+        Self { temperature }
+    }
+
+    /// The configured temperature.
+    pub fn temperature(&self) -> f32 {
+        self.temperature
+    }
+
+    /// Installs the layer into a model (mutating its inference behaviour).
+    pub fn apply(&self, model: &mut SequenceModel) {
+        model.set_temperature(self.temperature);
+    }
+
+    /// Removes any privacy scaling from a model.
+    pub fn remove(model: &mut SequenceModel) {
+        model.set_temperature(1.0);
+    }
+
+    /// The paper's evaluated temperature sweep (Fig. 5b).
+    pub fn paper_sweep() -> [PrivacyLayer; 5] {
+        [
+            PrivacyLayer::new(1e-1),
+            PrivacyLayer::new(1e-2),
+            PrivacyLayer::new(1e-3),
+            PrivacyLayer::new(1e-4),
+            PrivacyLayer::new(1e-5),
+        ]
+    }
+}
+
+impl Default for PrivacyLayer {
+    /// The paper's default evaluated setting, `T = 1e-3`.
+    fn default() -> Self {
+        Self::new(1e-3)
+    }
+}
+
+/// Percentage reduction in privacy leakage (the y-axis of Fig. 5):
+/// `100 · (before − after) / before`, clamped below at 0.
+///
+/// `before` and `after` are attack accuracies (in `[0, 1]`) without and
+/// with the defense. Returns 0 when `before` is 0 (nothing leaked to begin
+/// with).
+pub fn reduction_in_leakage(before: f64, after: f64) -> f64 {
+    if before <= 0.0 {
+        return 0.0;
+    }
+    (100.0 * (before - after) / before).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn apply_sets_model_temperature() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = SequenceModel::general_lstm(6, 8, 4, 0.0, &mut rng);
+        PrivacyLayer::new(1e-2).apply(&mut model);
+        assert_eq!(model.temperature(), 1e-2);
+        PrivacyLayer::remove(&mut model);
+        assert_eq!(model.temperature(), 1.0);
+    }
+
+    #[test]
+    fn sharpening_preserves_top1_and_concentrates_mass() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = SequenceModel::general_lstm(6, 8, 4, 0.0, &mut rng);
+        let xs = vec![vec![0.4; 6], vec![-0.1; 6]];
+        let before = model.predict_proba(&xs);
+        PrivacyLayer::default().apply(&mut model);
+        let after = model.predict_proba(&xs);
+        assert_eq!(pelican_tensor::argmax(&before), pelican_tensor::argmax(&after));
+        let max_after = after.iter().cloned().fold(0.0f32, f32::max);
+        assert!(max_after > 0.999, "defense concentrates confidence, got {max_after}");
+    }
+
+    #[test]
+    fn reduction_formula_matches_paper_units() {
+        assert_eq!(reduction_in_leakage(0.8, 0.4), 50.0);
+        assert_eq!(reduction_in_leakage(0.0, 0.5), 0.0);
+        assert_eq!(reduction_in_leakage(0.5, 0.7), 0.0, "clamped at zero");
+        assert!((reduction_in_leakage(0.776, 0.19) - 75.515).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "privacy temperature")]
+    fn rejects_flattening_temperatures() {
+        let _ = PrivacyLayer::new(2.0);
+    }
+
+    #[test]
+    fn paper_sweep_is_descending() {
+        let sweep = PrivacyLayer::paper_sweep();
+        for pair in sweep.windows(2) {
+            assert!(pair[0].temperature() > pair[1].temperature());
+        }
+    }
+}

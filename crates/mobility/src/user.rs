@@ -1,0 +1,307 @@
+//! Per-user behavioural profiles.
+
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::campus::{BuildingKind, Campus};
+
+/// A weekly visit anchor: on `weekday`, aim to be at `building` around
+/// `entry_minutes` for roughly `duration_minutes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Anchor {
+    /// Day of week, 0 = Monday.
+    pub weekday: usize,
+    /// Target building.
+    pub building: usize,
+    /// Target entry time, minutes since midnight.
+    pub entry_minutes: u32,
+    /// Typical stay length in minutes.
+    pub duration_minutes: u32,
+}
+
+/// A synthetic student's behavioural profile.
+///
+/// The two knobs the paper's Fig. 3 sweeps are explicit here:
+///
+/// * [`UserProfile::mobility_degree`] — how many distinct buildings the
+///   user frequents (Fig. 3b's x-axis);
+/// * [`UserProfile::routine_fidelity`] — the probability of following the
+///   weekly routine instead of wandering, which directly controls how
+///   predictable (and hence how accurately modellable) the user is
+///   (Fig. 3c).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// User index.
+    pub id: usize,
+    /// Home dorm building.
+    pub home: usize,
+    /// Number of distinct non-home buildings the user frequents.
+    pub mobility_degree: usize,
+    /// Probability of following the routine at each decision point.
+    pub routine_fidelity: f64,
+    /// The user's frequented buildings (excluding home).
+    pub haunts: Vec<usize>,
+    /// Weekly class/meal/evening schedule.
+    pub anchors: Vec<Anchor>,
+    /// Preferred AP offsets (within a building's AP block); one user sticks
+    /// to 1–2 physical spots per building.
+    pub ap_affinity: Vec<usize>,
+    /// First-order location habits: `transitions[b]` is where this user
+    /// typically heads *after* building `b` (their personal errand chain).
+    /// This is the sequential structure that makes `l_t` depend on
+    /// `l_{t−1}` beyond what time-of-day explains — the dependence the
+    /// paper's inversion attack exploits.
+    pub transitions: Vec<usize>,
+    /// Probability of appending a chained errand visit after an anchor.
+    pub chain_prob: f64,
+}
+
+impl UserProfile {
+    /// Samples a profile for user `id` on `campus`, deterministic in
+    /// `(seed, id)`.
+    pub fn sample(id: usize, campus: &Campus, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let dorms = campus.of_kind(BuildingKind::Dorm);
+        let home = dorms[rng.random_range(0..dorms.len())];
+
+        // Degree of mobility: most users visit a handful of buildings, a
+        // tail visits many (Fig. 3b's 10–40 range at paper scale).
+        let max_degree = (campus.buildings().len() - 1).min(30).max(3);
+        let mobility_degree = 3 + rng.random_range(0..=(max_degree - 3));
+
+        // Predictability knob spans sloppy (0.70) to clockwork (0.97);
+        // real campus mobility is dominated by routine (the paper's users
+        // "tend to follow particular routines and habits").
+        let routine_fidelity = 0.70 + rng.random_range(0.0..0.27);
+
+        let academics = campus.of_kind(BuildingKind::Academic);
+        let dinings = campus.of_kind(BuildingKind::Dining);
+        let libraries = campus.of_kind(BuildingKind::Library);
+        let gyms = campus.of_kind(BuildingKind::Gym);
+
+        let mut haunts: Vec<usize> = Vec::new();
+        let mut pools: Vec<&[usize]> = vec![&academics, &dinings, &libraries, &gyms];
+        pools.retain(|p| !p.is_empty());
+        while haunts.len() < mobility_degree {
+            let pool = pools[rng.random_range(0..pools.len())];
+            let pick = pool[rng.random_range(0..pool.len())];
+            if pick != home && !haunts.contains(&pick) {
+                haunts.push(pick);
+            }
+            // Small campuses can exhaust distinct buildings.
+            let distinct_available: usize = pools.iter().map(|p| p.len()).sum();
+            if haunts.len() >= distinct_available {
+                break;
+            }
+        }
+
+        // Weekly schedule: 2–4 class anchors per weekday from the user's
+        // academic haunts, lunch at a fixed dining hall, and an evening
+        // anchor (library or gym) on some days.
+        // Class anchors draw from at most three academic buildings: even a
+        // highly mobile student's *schedule* concentrates on a few rooms,
+        // which keeps the hidden-location marginal skewed (the paper:
+        // "users tend to spend a majority of their time at a single
+        // location"). The remaining haunts appear through deviations and
+        // errand chains.
+        let my_academics: Vec<usize> = haunts
+            .iter()
+            .copied()
+            .filter(|b| academics.contains(b))
+            .take(4)
+            .collect();
+        let my_dinings: Vec<usize> =
+            haunts.iter().copied().filter(|b| dinings.contains(b)).take(2).collect();
+        let my_evening: Vec<usize> = haunts
+            .iter()
+            .copied()
+            .filter(|b| libraries.contains(b) || gyms.contains(b))
+            .collect();
+
+        let mut anchors = Vec::new();
+        for weekday in 0..5 {
+            let classes = if my_academics.is_empty() { 0 } else { 2 + rng.random_range(0..=2) };
+            for slot in 0..classes {
+                let building = my_academics[rng.random_range(0..my_academics.len())];
+                let entry = 9 * 60 + slot as u32 * 2 * 60 + rng.random_range(0..30);
+                anchors.push(Anchor {
+                    weekday,
+                    building,
+                    entry_minutes: entry.min(23 * 60),
+                    duration_minutes: 50 + rng.random_range(0..60),
+                });
+            }
+            // Lunch alternates between the user's dining halls by weekday.
+            if !my_dinings.is_empty() {
+                let d = my_dinings[weekday % my_dinings.len()];
+                anchors.push(Anchor {
+                    weekday,
+                    building: d,
+                    entry_minutes: 12 * 60 + rng.random_range(0..45),
+                    duration_minutes: 25 + rng.random_range(0..30),
+                });
+            }
+            // Afternoon discretionary stop on some weekdays (gym, library).
+            if !my_evening.is_empty() && rng.random_range(0.0..1.0) < 0.5 {
+                let building = my_evening[rng.random_range(0..my_evening.len())];
+                anchors.push(Anchor {
+                    weekday,
+                    building,
+                    entry_minutes: 15 * 60 + rng.random_range(0..60),
+                    duration_minutes: 40 + rng.random_range(0..50),
+                });
+            }
+            if !my_evening.is_empty() && rng.random_range(0.0..1.0) < 0.6 {
+                let building = my_evening[rng.random_range(0..my_evening.len())];
+                anchors.push(Anchor {
+                    weekday,
+                    building,
+                    entry_minutes: 18 * 60 + rng.random_range(0..90),
+                    duration_minutes: 60 + rng.random_range(0..90),
+                });
+            }
+        }
+        // Weekend: dining plus an occasional haunt visit per day.
+        for weekday in 5..7 {
+            if !my_dinings.is_empty() {
+                let d = my_dinings[weekday % my_dinings.len()];
+                anchors.push(Anchor {
+                    weekday,
+                    building: d,
+                    entry_minutes: 11 * 60 + rng.random_range(0..120),
+                    duration_minutes: 30 + rng.random_range(0..40),
+                });
+            }
+            if !haunts.is_empty() && rng.random_range(0.0..1.0) < 0.7 {
+                let building = haunts[rng.random_range(0..haunts.len())];
+                anchors.push(Anchor {
+                    weekday,
+                    building,
+                    entry_minutes: 14 * 60 + rng.random_range(0..120),
+                    duration_minutes: 45 + rng.random_range(0..60),
+                });
+            }
+        }
+        anchors.sort_by_key(|a| (a.weekday, a.entry_minutes));
+
+        // AP affinity: a preferred offset within every building's AP block.
+        let aps_per_building = campus.config().aps_per_building;
+        let ap_affinity = (0..campus.buildings().len())
+            .map(|_| rng.random_range(0..aps_per_building))
+            .collect();
+
+        // Personal errand chains: after building b this user habitually
+        // continues to transitions[b] (a haunt or home). Distinct per user,
+        // so the successor location identifies the predecessor — the
+        // correlation the inversion attack reconstructs.
+        let n_buildings = campus.buildings().len();
+        let chain_pool: Vec<usize> = if haunts.is_empty() { vec![home] } else { haunts.clone() };
+        let transitions = (0..n_buildings)
+            .map(|b| {
+                // Mostly chain into a haunt; occasionally back home.
+                if rng.random_range(0.0..1.0) < 0.8 {
+                    let mut pick = chain_pool[rng.random_range(0..chain_pool.len())];
+                    if pick == b && chain_pool.len() > 1 {
+                        pick = chain_pool[(chain_pool.iter().position(|&h| h == b).unwrap_or(0) + 1)
+                            % chain_pool.len()];
+                    }
+                    pick
+                } else {
+                    home
+                }
+            })
+            .collect();
+        let chain_prob = 0.35 + rng.random_range(0.0..0.35);
+
+        Self {
+            id,
+            home,
+            mobility_degree,
+            routine_fidelity,
+            haunts,
+            anchors,
+            ap_affinity,
+            transitions,
+            chain_prob,
+        }
+    }
+
+    /// Anchors scheduled for a given weekday, in entry-time order.
+    pub fn anchors_for(&self, weekday: usize) -> Vec<&Anchor> {
+        self.anchors.iter().filter(|a| a.weekday == weekday).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CampusConfig, Scale};
+
+    fn campus() -> Campus {
+        Campus::new(CampusConfig::for_scale(Scale::Small))
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let c = campus();
+        let a = UserProfile::sample(3, &c, 99);
+        let b = UserProfile::sample(3, &c, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_users_differ() {
+        let c = campus();
+        let a = UserProfile::sample(0, &c, 99);
+        let b = UserProfile::sample(1, &c, 99);
+        assert_ne!(a, b, "distinct users should have distinct profiles");
+    }
+
+    #[test]
+    fn home_is_a_dorm() {
+        let c = campus();
+        for id in 0..10 {
+            let p = UserProfile::sample(id, &c, 7);
+            assert!(c.of_kind(BuildingKind::Dorm).contains(&p.home));
+        }
+    }
+
+    #[test]
+    fn haunts_exclude_home_and_are_distinct() {
+        let c = campus();
+        for id in 0..10 {
+            let p = UserProfile::sample(id, &c, 7);
+            assert!(!p.haunts.contains(&p.home));
+            let mut sorted = p.haunts.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), p.haunts.len(), "haunts must be distinct");
+        }
+    }
+
+    #[test]
+    fn weekday_anchors_are_time_ordered() {
+        let c = campus();
+        let p = UserProfile::sample(2, &c, 7);
+        for wd in 0..7 {
+            let anchors = p.anchors_for(wd);
+            for pair in anchors.windows(2) {
+                assert!(pair[0].entry_minutes <= pair[1].entry_minutes);
+            }
+        }
+    }
+
+    #[test]
+    fn fidelity_spans_a_meaningful_range() {
+        let c = campus();
+        let fids: Vec<f64> = (0..40)
+            .map(|id| UserProfile::sample(id, &c, 11).routine_fidelity)
+            .collect();
+        let min = fids.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = fids.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(min < 0.78, "some less predictable users (min {min})");
+        assert!(max > 0.88, "some clockwork users (max {max})");
+        assert!(min >= 0.70, "routine dominates for everyone (min {min})");
+    }
+}

@@ -1,0 +1,152 @@
+//! Inverted dropout applied between recurrent layers.
+
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::Sequence;
+
+/// Inverted dropout: active during training, identity at inference.
+///
+/// The paper trains its general model with a dropout rate of 0.1 between
+/// the LSTM layers (§IV-A). "Inverted" scaling (dividing survivors by the
+/// keep probability at train time) keeps inference a pure identity, so the
+/// deployed personalized model has no stochastic behaviour an adversary
+/// could average away.
+///
+/// Masks are drawn from a counter-based seed (`seed + forward index`) so
+/// the layer is `Clone` and deterministic without carrying RNG state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dropout {
+    rate: f32,
+    seed: u64,
+    #[serde(skip)]
+    draws: u64,
+    #[serde(skip)]
+    masks: Vec<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer dropping each activation with probability
+    /// `rate`, drawing masks from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= rate < 1`.
+    pub fn new(rate: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1), got {rate}");
+        Self { rate, seed, draws: 0, masks: Vec::new() }
+    }
+
+    /// The configured drop probability.
+    pub fn rate(&self) -> f32 {
+        self.rate
+    }
+
+    /// Inference-mode forward pass: the identity.
+    pub fn infer(&self, xs: &Sequence) -> Sequence {
+        xs.clone()
+    }
+
+    /// Training-mode forward pass; samples and caches a mask per timestep.
+    pub fn forward(&mut self, xs: &Sequence) -> Sequence {
+        if self.rate == 0.0 {
+            self.masks = xs.iter().map(|x| vec![1.0; x.len()]).collect();
+            return xs.clone();
+        }
+        let keep = 1.0 - self.rate;
+        let inv_keep = 1.0 / keep;
+        self.masks.clear();
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(self.draws));
+        self.draws = self.draws.wrapping_add(1);
+        let mut out = Vec::with_capacity(xs.len());
+        for x in xs {
+            let mask: Vec<f32> = (0..x.len())
+                .map(|_| if rng.random_range(0.0..1.0) < keep { inv_keep } else { 0.0 })
+                .collect();
+            out.push(x.iter().zip(&mask).map(|(&v, &m)| v * m).collect());
+            self.masks.push(mask);
+        }
+        out
+    }
+
+    /// Identity forward pass that still primes the mask cache (with ones),
+    /// so a later [`Dropout::backward`] passes gradients through unchanged.
+    ///
+    /// Used when a cache-writing forward pass must reproduce *inference*
+    /// semantics — e.g. when an attack differentiates through the deployed
+    /// model, which has dropout disabled.
+    pub fn forward_identity(&mut self, xs: &Sequence) -> Sequence {
+        self.masks = xs.iter().map(|x| vec![1.0; x.len()]).collect();
+        xs.clone()
+    }
+
+    /// Backpropagates through the cached masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Dropout::forward`] or with a mismatched
+    /// number of gradient steps.
+    pub fn backward(&mut self, grad_out: &Sequence) -> Sequence {
+        assert_eq!(
+            grad_out.len(),
+            self.masks.len(),
+            "backward called with {} grads but {} cached masks",
+            grad_out.len(),
+            self.masks.len()
+        );
+        grad_out
+            .iter()
+            .zip(&self.masks)
+            .map(|(g, m)| g.iter().zip(m).map(|(&gv, &mv)| gv * mv).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let d = Dropout::new(0.5, 1);
+        let xs = vec![vec![1.0, 2.0, 3.0]];
+        assert_eq!(d.infer(&xs), xs);
+    }
+
+    #[test]
+    fn zero_rate_is_identity_in_training() {
+        let mut d = Dropout::new(0.0, 1);
+        let xs = vec![vec![1.0, -2.0]];
+        assert_eq!(d.forward(&xs), xs);
+    }
+
+    #[test]
+    fn surviving_activations_are_scaled() {
+        let mut d = Dropout::new(0.5, 42);
+        let xs = vec![vec![1.0; 1000]];
+        let ys = d.forward(&xs);
+        for &y in &ys[0] {
+            assert!(y == 0.0 || (y - 2.0).abs() < 1e-6, "unexpected value {y}");
+        }
+        let kept = ys[0].iter().filter(|&&v| v != 0.0).count();
+        assert!((300..700).contains(&kept), "kept {kept} of 1000 at rate 0.5");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 7);
+        let xs = vec![vec![1.0; 64]];
+        let ys = d.forward(&xs);
+        let gs = d.backward(&vec![vec![1.0; 64]]);
+        for (y, g) in ys[0].iter().zip(&gs[0]) {
+            assert_eq!(*y == 0.0, *g == 0.0, "mask must match between passes");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout rate must be in [0, 1)")]
+    fn rejects_rate_one() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

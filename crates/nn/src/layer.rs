@@ -1,0 +1,163 @@
+//! The [`Layer`] enum: closed set of layer types composing a model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Dropout, Linear, Lstm, Sequence};
+
+/// One layer of a [`crate::SequenceModel`].
+///
+/// A closed enum (rather than a trait object) keeps models serializable,
+/// cloneable and cheap to dispatch. The paper's architectures only ever
+/// compose these three layer kinds plus the inference-time temperature
+/// scale, which lives on the model head (see
+/// [`crate::SequenceModel::set_temperature`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Layer {
+    /// Recurrent LSTM layer.
+    Lstm(Lstm),
+    /// Fully-connected layer applied per timestep.
+    Linear(Linear),
+    /// Inverted dropout (train-time only).
+    Dropout(Dropout),
+}
+
+impl Layer {
+    /// Inference-mode forward pass.
+    pub fn infer(&self, xs: &Sequence) -> Sequence {
+        match self {
+            Layer::Lstm(l) => l.infer(xs),
+            Layer::Linear(l) => l.infer(xs),
+            Layer::Dropout(d) => d.infer(xs),
+        }
+    }
+
+    /// Training-mode forward pass (caches activations).
+    pub fn forward(&mut self, xs: &Sequence) -> Sequence {
+        match self {
+            Layer::Lstm(l) => l.forward(xs),
+            Layer::Linear(l) => l.forward(xs),
+            Layer::Dropout(d) => d.forward(xs),
+        }
+    }
+
+    /// Backward pass; returns input gradients.
+    pub fn backward(&mut self, grad_out: &Sequence) -> Sequence {
+        match self {
+            Layer::Lstm(l) => l.backward(grad_out),
+            Layer::Linear(l) => l.backward(grad_out),
+            Layer::Dropout(d) => d.backward(grad_out),
+        }
+    }
+
+    /// Visits `(param, grad)` slices of trainable parameters.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        match self {
+            Layer::Lstm(l) => l.visit_params(f),
+            Layer::Linear(l) => l.visit_params(f),
+            Layer::Dropout(_) => {}
+        }
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        match self {
+            Layer::Lstm(l) => l.zero_grad(),
+            Layer::Linear(l) => l.zero_grad(),
+            Layer::Dropout(_) => {}
+        }
+    }
+
+    /// Whether optimizers may update this layer.
+    pub fn is_trainable(&self) -> bool {
+        match self {
+            Layer::Lstm(l) => l.trainable,
+            Layer::Linear(l) => l.trainable,
+            Layer::Dropout(_) => false,
+        }
+    }
+
+    /// Freezes or unfreezes the layer's parameters.
+    ///
+    /// Freezing a [`Layer::Dropout`] is a no-op: it has no parameters.
+    pub fn set_trainable(&mut self, trainable: bool) {
+        match self {
+            Layer::Lstm(l) => l.trainable = trainable,
+            Layer::Linear(l) => l.trainable = trainable,
+            Layer::Dropout(_) => {}
+        }
+    }
+
+    /// Number of scalar parameters (0 for dropout).
+    pub fn param_count(&self) -> usize {
+        match self {
+            Layer::Lstm(l) => l.param_count(),
+            Layer::Linear(l) => l.param_count(),
+            Layer::Dropout(_) => 0,
+        }
+    }
+
+    /// Short human-readable layer description (e.g. `lstm(64->128)`).
+    pub fn describe(&self) -> String {
+        match self {
+            Layer::Lstm(l) => format!("lstm({}->{})", l.input_dim(), l.output_dim()),
+            Layer::Linear(l) => format!("linear({}->{})", l.input_dim(), l.output_dim()),
+            Layer::Dropout(d) => format!("dropout({})", d.rate()),
+        }
+    }
+}
+
+impl From<Lstm> for Layer {
+    fn from(l: Lstm) -> Self {
+        Layer::Lstm(l)
+    }
+}
+
+impl From<Linear> for Layer {
+    fn from(l: Linear) -> Self {
+        Layer::Linear(l)
+    }
+}
+
+impl From<Dropout> for Layer {
+    fn from(d: Dropout) -> Self {
+        Layer::Dropout(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn describe_is_informative() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l: Layer = Lstm::new(3, 5, &mut rng).into();
+        assert_eq!(l.describe(), "lstm(3->5)");
+        let l: Layer = Linear::new(5, 2, &mut rng).into();
+        assert_eq!(l.describe(), "linear(5->2)");
+        let l: Layer = Dropout::new(0.1, 0).into();
+        assert_eq!(l.describe(), "dropout(0.1)");
+    }
+
+    #[test]
+    fn dropout_is_never_trainable() {
+        let mut l: Layer = Dropout::new(0.2, 0).into();
+        assert!(!l.is_trainable());
+        l.set_trainable(true);
+        assert!(!l.is_trainable());
+        assert_eq!(l.param_count(), 0);
+    }
+
+    #[test]
+    fn freeze_round_trip() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l: Layer = Linear::new(2, 2, &mut rng).into();
+        assert!(l.is_trainable());
+        l.set_trainable(false);
+        assert!(!l.is_trainable());
+        l.set_trainable(true);
+        assert!(l.is_trainable());
+    }
+}

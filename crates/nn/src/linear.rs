@@ -1,0 +1,221 @@
+//! Fully-connected layer applied independently to each timestep.
+
+use pelican_tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Sequence, Step};
+
+/// A fully-connected layer, `y = W·x + b`, applied per timestep.
+///
+/// In the paper's architectures (Fig. 1) a single `Linear` maps the last
+/// LSTM hidden state to location logits; the training loop only propagates
+/// loss through the final timestep, so applying the layer to every timestep
+/// costs nothing extra for the sequence lengths used here (`T = 2`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    w: Matrix,
+    b: Vec<f32>,
+    /// Whether optimizers may update this layer's parameters.
+    pub trainable: bool,
+    #[serde(skip)]
+    grad_w: Option<Matrix>,
+    #[serde(skip)]
+    grad_b: Vec<f32>,
+    #[serde(skip)]
+    cache_inputs: Sequence,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(input_dim: usize, output_dim: usize, rng: &mut R) -> Self {
+        assert!(input_dim > 0 && output_dim > 0, "layer dimensions must be positive");
+        Self {
+            w: pelican_tensor::xavier_uniform(output_dim, input_dim, rng),
+            b: vec![0.0; output_dim],
+            trainable: true,
+            grad_w: None,
+            grad_b: Vec::new(),
+            cache_inputs: Vec::new(),
+        }
+    }
+
+    /// Reassembles a layer from raw parameters (e.g. from a decoded
+    /// [`crate::ModelEnvelope`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != w.rows()`.
+    pub fn from_parts(w: Matrix, b: Vec<f32>) -> Self {
+        assert_eq!(b.len(), w.rows(), "bias length must equal output dimension");
+        Self {
+            w,
+            b,
+            trainable: true,
+            grad_w: None,
+            grad_b: Vec::new(),
+            cache_inputs: Vec::new(),
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Output feature dimension.
+    pub fn output_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Borrows the weight matrix (`output_dim × input_dim`).
+    pub fn weight(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Borrows the bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.b
+    }
+
+    fn apply(&self, x: &Step) -> Step {
+        let mut y = self.w.matvec(x);
+        for (yv, &bv) in y.iter_mut().zip(&self.b) {
+            *yv += bv;
+        }
+        y
+    }
+
+    /// Inference-mode forward pass (no caches are written).
+    pub fn infer(&self, xs: &Sequence) -> Sequence {
+        xs.iter().map(|x| self.apply(x)).collect()
+    }
+
+    /// Training-mode forward pass; caches inputs for [`Linear::backward`].
+    pub fn forward(&mut self, xs: &Sequence) -> Sequence {
+        self.cache_inputs = xs.clone();
+        self.infer(xs)
+    }
+
+    /// Backpropagates `grad_out` (one gradient per timestep), accumulating
+    /// parameter gradients when trainable and returning input gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Linear::forward`] or with a gradient whose
+    /// length differs from the cached sequence length.
+    pub fn backward(&mut self, grad_out: &Sequence) -> Sequence {
+        assert_eq!(
+            grad_out.len(),
+            self.cache_inputs.len(),
+            "backward called with {} grads but {} cached steps",
+            grad_out.len(),
+            self.cache_inputs.len()
+        );
+        if self.trainable {
+            let gw = self
+                .grad_w
+                .get_or_insert_with(|| Matrix::zeros(self.w.rows(), self.w.cols()));
+            if self.grad_b.len() != self.b.len() {
+                self.grad_b = vec![0.0; self.b.len()];
+            }
+            for (g, x) in grad_out.iter().zip(&self.cache_inputs) {
+                gw.rank_one_update(1.0, g, x);
+                for (db, &gv) in self.grad_b.iter_mut().zip(g) {
+                    *db += gv;
+                }
+            }
+        }
+        grad_out.iter().map(|g| self.w.matvec_transpose(g)).collect()
+    }
+
+    /// Visits `(param, grad)` pairs as flat slices; used by optimizers.
+    ///
+    /// Does nothing if the layer is frozen or has no accumulated gradients.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        if !self.trainable {
+            return;
+        }
+        if let Some(gw) = self.grad_w.as_mut() {
+            f(self.w.as_mut_slice(), gw.as_mut_slice());
+        }
+        if !self.grad_b.is_empty() {
+            f(&mut self.b, &mut self.grad_b);
+        }
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        if let Some(gw) = self.grad_w.as_mut() {
+            gw.fill_zero();
+        }
+        self.grad_b.fill(0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer() -> Linear {
+        Linear::new(3, 2, &mut StdRng::seed_from_u64(9))
+    }
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let mut l = layer();
+        let xs = vec![vec![1.0, 0.0, -1.0]];
+        let ys = l.forward(&xs);
+        let w = l.weight();
+        let expect = [w[(0, 0)] - w[(0, 2)], w[(1, 0)] - w[(1, 2)]];
+        assert!((ys[0][0] - expect[0]).abs() < 1e-6);
+        assert!((ys[0][1] - expect[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_input_grad_matches_finite_difference() {
+        let mut l = layer();
+        let xs = vec![vec![0.4, -0.2, 0.7]];
+        let ys = l.forward(&xs);
+        // Scalar objective: sum of outputs. dL/dy = ones.
+        let grad = l.backward(&vec![vec![1.0; ys[0].len()]]);
+        let eps = 1e-3;
+        for j in 0..3 {
+            let mut plus = xs.clone();
+            plus[0][j] += eps;
+            let mut minus = xs.clone();
+            minus[0][j] -= eps;
+            let f = |s: &Sequence| l.infer(s)[0].iter().sum::<f32>();
+            let fd = (f(&plus) - f(&minus)) / (2.0 * eps);
+            assert!(
+                (grad[0][j] - fd).abs() < 1e-2,
+                "input grad {j}: analytic {} vs fd {fd}",
+                grad[0][j]
+            );
+        }
+    }
+
+    #[test]
+    fn frozen_layer_accumulates_no_grads() {
+        let mut l = layer();
+        l.trainable = false;
+        let xs = vec![vec![1.0, 2.0, 3.0]];
+        l.forward(&xs);
+        l.backward(&vec![vec![1.0, 1.0]]);
+        let mut visited = 0;
+        l.visit_params(&mut |_, _| visited += 1);
+        assert_eq!(visited, 0);
+    }
+
+    #[test]
+    fn param_count_is_w_plus_b() {
+        assert_eq!(layer().param_count(), 3 * 2 + 2);
+    }
+}

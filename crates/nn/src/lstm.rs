@@ -1,0 +1,416 @@
+//! Long short-term memory layer with full backpropagation through time.
+//!
+//! Implements the standard LSTM cell of Hochreiter & Schmidhuber —
+//! the architecture the paper identifies as state of the art for human
+//! mobility prediction (§II) — with a hand-written BPTT backward pass that
+//! yields exact gradients with respect to both parameters and inputs. Input
+//! gradients are what make the gradient-descent model-inversion attack of
+//! §III-B possible.
+
+use pelican_tensor::{sigmoid, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Sequence, Step};
+
+/// Activations cached for one timestep during the forward pass.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Step,
+    h_prev: Step,
+    c_prev: Step,
+    i: Step,
+    f: Step,
+    g: Step,
+    o: Step,
+    tanh_c: Step,
+}
+
+/// An LSTM layer processing sequences step by step.
+///
+/// Gate layout in the packed `4H` pre-activation vector is `[i, f, g, o]`
+/// (input, forget, cell candidate, output), matching PyTorch's `nn.LSTM`
+/// so that hyperparameters transfer intuition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Lstm {
+    /// Input-to-hidden weights, `4H × I`.
+    w_ih: Matrix,
+    /// Hidden-to-hidden weights, `4H × H`.
+    w_hh: Matrix,
+    /// Combined gate bias, length `4H`. Forget-gate slice initialized to 1.
+    b: Vec<f32>,
+    hidden: usize,
+    /// Whether optimizers may update this layer's parameters.
+    pub trainable: bool,
+    #[serde(skip)]
+    grad_w_ih: Option<Matrix>,
+    #[serde(skip)]
+    grad_w_hh: Option<Matrix>,
+    #[serde(skip)]
+    grad_b: Vec<f32>,
+    #[serde(skip)]
+    cache: Vec<StepCache>,
+}
+
+impl Lstm {
+    /// Creates an LSTM with Xavier-uniform weights and the forget-gate bias
+    /// set to 1 (the usual trick to avoid early vanishing of cell state).
+    pub fn new<R: Rng + ?Sized>(input_dim: usize, hidden_dim: usize, rng: &mut R) -> Self {
+        assert!(input_dim > 0 && hidden_dim > 0, "layer dimensions must be positive");
+        let mut b = vec![0.0; 4 * hidden_dim];
+        b[hidden_dim..2 * hidden_dim].fill(1.0);
+        Self {
+            w_ih: pelican_tensor::xavier_uniform(4 * hidden_dim, input_dim, rng),
+            w_hh: pelican_tensor::xavier_uniform(4 * hidden_dim, hidden_dim, rng),
+            b,
+            hidden: hidden_dim,
+            trainable: true,
+            grad_w_ih: None,
+            grad_w_hh: None,
+            grad_b: Vec::new(),
+            cache: Vec::new(),
+        }
+    }
+
+    /// Reassembles an LSTM from raw parameters (e.g. from a decoded
+    /// [`crate::ModelEnvelope`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent: `w_ih` must be `4H × I`,
+    /// `w_hh` must be `4H × H` and `b` must have length `4H`.
+    pub fn from_parts(w_ih: Matrix, w_hh: Matrix, b: Vec<f32>) -> Self {
+        let hidden = w_hh.cols();
+        assert_eq!(w_ih.rows(), 4 * hidden, "w_ih must have 4H rows");
+        assert_eq!(w_hh.rows(), 4 * hidden, "w_hh must have 4H rows");
+        assert_eq!(b.len(), 4 * hidden, "bias must have 4H entries");
+        Self {
+            w_ih,
+            w_hh,
+            b,
+            hidden,
+            trainable: true,
+            grad_w_ih: None,
+            grad_w_hh: None,
+            grad_b: Vec::new(),
+            cache: Vec::new(),
+        }
+    }
+
+    /// Borrows the input-to-hidden weights (`4H × I`).
+    pub fn weight_ih(&self) -> &Matrix {
+        &self.w_ih
+    }
+
+    /// Borrows the hidden-to-hidden weights (`4H × H`).
+    pub fn weight_hh(&self) -> &Matrix {
+        &self.w_hh
+    }
+
+    /// Borrows the combined gate bias (length `4H`).
+    pub fn bias(&self) -> &[f32] {
+        &self.b
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.w_ih.cols()
+    }
+
+    /// Hidden-state (output) dimension.
+    pub fn output_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.w_ih.len() + self.w_hh.len() + self.b.len()
+    }
+
+    fn step(&self, x: &Step, h_prev: &Step, c_prev: &Step) -> (Step, Step, StepCache) {
+        let h = self.hidden;
+        let mut z = self.w_ih.matvec(x);
+        let zh = self.w_hh.matvec(h_prev);
+        for ((zv, &hv), &bv) in z.iter_mut().zip(&zh).zip(&self.b) {
+            *zv += hv + bv;
+        }
+        let mut i = vec![0.0; h];
+        let mut f = vec![0.0; h];
+        let mut g = vec![0.0; h];
+        let mut o = vec![0.0; h];
+        for k in 0..h {
+            i[k] = sigmoid(z[k]);
+            f[k] = sigmoid(z[h + k]);
+            g[k] = z[2 * h + k].tanh();
+            o[k] = sigmoid(z[3 * h + k]);
+        }
+        let mut c = vec![0.0; h];
+        let mut tanh_c = vec![0.0; h];
+        let mut h_out = vec![0.0; h];
+        for k in 0..h {
+            c[k] = f[k] * c_prev[k] + i[k] * g[k];
+            tanh_c[k] = c[k].tanh();
+            h_out[k] = o[k] * tanh_c[k];
+        }
+        let cache = StepCache {
+            x: x.clone(),
+            h_prev: h_prev.clone(),
+            c_prev: c_prev.clone(),
+            i,
+            f,
+            g,
+            o,
+            tanh_c,
+        };
+        (h_out, c, cache)
+    }
+
+    /// Inference-mode forward pass over a sequence; returns hidden states
+    /// for every timestep. No caches are written.
+    pub fn infer(&self, xs: &Sequence) -> Sequence {
+        let mut h = vec![0.0; self.hidden];
+        let mut c = vec![0.0; self.hidden];
+        let mut out = Vec::with_capacity(xs.len());
+        for x in xs {
+            let (h_new, c_new, _) = self.step(x, &h, &c);
+            h = h_new;
+            c = c_new;
+            out.push(h.clone());
+        }
+        out
+    }
+
+    /// Training-mode forward pass; caches activations for [`Lstm::backward`].
+    pub fn forward(&mut self, xs: &Sequence) -> Sequence {
+        let mut h = vec![0.0; self.hidden];
+        let mut c = vec![0.0; self.hidden];
+        let mut out = Vec::with_capacity(xs.len());
+        self.cache.clear();
+        for x in xs {
+            let (h_new, c_new, cache) = self.step(x, &h, &c);
+            h = h_new;
+            c = c_new;
+            self.cache.push(cache);
+            out.push(h.clone());
+        }
+        out
+    }
+
+    /// Backpropagation through time.
+    ///
+    /// Takes one output gradient per timestep (zero vectors for steps the
+    /// loss ignores), accumulates parameter gradients when trainable, and
+    /// returns the gradient with respect to each input step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Lstm::forward`] or with a mismatched number
+    /// of gradient steps.
+    pub fn backward(&mut self, grad_out: &Sequence) -> Sequence {
+        assert_eq!(
+            grad_out.len(),
+            self.cache.len(),
+            "backward called with {} grads but {} cached steps",
+            grad_out.len(),
+            self.cache.len()
+        );
+        let h = self.hidden;
+        if self.trainable {
+            self.grad_w_ih
+                .get_or_insert_with(|| Matrix::zeros(4 * h, self.w_ih.cols()));
+            self.grad_w_hh.get_or_insert_with(|| Matrix::zeros(4 * h, h));
+            if self.grad_b.len() != self.b.len() {
+                self.grad_b = vec![0.0; self.b.len()];
+            }
+        }
+        let mut dx_all = vec![Vec::new(); grad_out.len()];
+        let mut dh_carry = vec![0.0; h];
+        let mut dc_carry = vec![0.0; h];
+        for t in (0..grad_out.len()).rev() {
+            let cache = &self.cache[t];
+            let mut dz = vec![0.0; 4 * h];
+            for k in 0..h {
+                let dh = grad_out[t][k] + dh_carry[k];
+                let d_o = dh * cache.tanh_c[k];
+                let mut dc = dh * cache.o[k] * (1.0 - cache.tanh_c[k] * cache.tanh_c[k]);
+                dc += dc_carry[k];
+                let di = dc * cache.g[k];
+                let dg = dc * cache.i[k];
+                let df = dc * cache.c_prev[k];
+                dz[k] = di * cache.i[k] * (1.0 - cache.i[k]);
+                dz[h + k] = df * cache.f[k] * (1.0 - cache.f[k]);
+                dz[2 * h + k] = dg * (1.0 - cache.g[k] * cache.g[k]);
+                dz[3 * h + k] = d_o * cache.o[k] * (1.0 - cache.o[k]);
+                dc_carry[k] = dc * cache.f[k];
+            }
+            if self.trainable {
+                self.grad_w_ih
+                    .as_mut()
+                    .expect("grad buffer initialized above")
+                    .rank_one_update(1.0, &dz, &cache.x);
+                self.grad_w_hh
+                    .as_mut()
+                    .expect("grad buffer initialized above")
+                    .rank_one_update(1.0, &dz, &cache.h_prev);
+                for (db, &dzv) in self.grad_b.iter_mut().zip(&dz) {
+                    *db += dzv;
+                }
+            }
+            dx_all[t] = self.w_ih.matvec_transpose(&dz);
+            dh_carry = self.w_hh.matvec_transpose(&dz);
+        }
+        dx_all
+    }
+
+    /// Visits `(param, grad)` pairs as flat slices; used by optimizers.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        if !self.trainable {
+            return;
+        }
+        if let Some(g) = self.grad_w_ih.as_mut() {
+            f(self.w_ih.as_mut_slice(), g.as_mut_slice());
+        }
+        if let Some(g) = self.grad_w_hh.as_mut() {
+            f(self.w_hh.as_mut_slice(), g.as_mut_slice());
+        }
+        if !self.grad_b.is_empty() {
+            f(&mut self.b, &mut self.grad_b);
+        }
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        if let Some(g) = self.grad_w_ih.as_mut() {
+            g.fill_zero();
+        }
+        if let Some(g) = self.grad_w_hh.as_mut() {
+            g.fill_zero();
+        }
+        self.grad_b.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn lstm(input: usize, hidden: usize) -> Lstm {
+        Lstm::new(input, hidden, &mut StdRng::seed_from_u64(17))
+    }
+
+    fn scalar_objective(l: &Lstm, xs: &Sequence) -> f32 {
+        // Sum of the final hidden state: a simple scalar loss for checking
+        // gradients by finite differences.
+        l.infer(xs).last().expect("nonempty sequence").iter().sum()
+    }
+
+    #[test]
+    fn output_shape_matches_sequence() {
+        let l = lstm(5, 7);
+        let xs = vec![vec![0.1; 5]; 3];
+        let hs = l.infer(&xs);
+        assert_eq!(hs.len(), 3);
+        assert!(hs.iter().all(|h| h.len() == 7));
+    }
+
+    #[test]
+    fn hidden_states_are_bounded() {
+        let l = lstm(4, 6);
+        let xs = vec![vec![100.0; 4]; 4];
+        for h in l.infer(&xs) {
+            assert!(h.iter().all(|v| v.abs() <= 1.0), "tanh·sigmoid bounds |h| by 1");
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut l = lstm(3, 4);
+        let xs = vec![vec![0.5, -0.3, 0.8], vec![-0.1, 0.9, 0.2]];
+        let hs = l.forward(&xs);
+        let t_last = hs.len() - 1;
+        let mut grads = vec![vec![0.0; 4]; xs.len()];
+        grads[t_last] = vec![1.0; 4];
+        let dx = l.backward(&grads);
+        let eps = 1e-3;
+        for t in 0..xs.len() {
+            for j in 0..3 {
+                let mut plus = xs.clone();
+                plus[t][j] += eps;
+                let mut minus = xs.clone();
+                minus[t][j] -= eps;
+                let fd = (scalar_objective(&l, &plus) - scalar_objective(&l, &minus)) / (2.0 * eps);
+                assert!(
+                    (dx[t][j] - fd).abs() < 5e-3,
+                    "input grad t={t} j={j}: analytic {} vs fd {fd}",
+                    dx[t][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_gradient_matches_finite_difference() {
+        let mut l = lstm(2, 3);
+        let xs = vec![vec![0.7, -0.4], vec![0.2, 0.1]];
+        l.forward(&xs);
+        let mut grads = vec![vec![0.0; 3]; 2];
+        grads[1] = vec![1.0; 3];
+        l.backward(&grads);
+
+        // Probe a handful of w_ih entries by finite differences.
+        let eps = 1e-3;
+        let mut checked = 0;
+        let mut analytic = Vec::new();
+        l.visit_params(&mut |_, g| analytic.push(g.to_vec()));
+        let ga = analytic[0].clone(); // w_ih grads, row-major 4H x I
+        for idx in [0usize, 5, 11, 17, 23] {
+            let (r, c) = (idx / 2, idx % 2);
+            let probe = |delta: f32, l: &mut Lstm| {
+                let mut w = l.w_ih.clone();
+                w[(r, c)] += delta;
+                std::mem::swap(&mut l.w_ih, &mut w);
+                let v = scalar_objective(l, &xs);
+                std::mem::swap(&mut l.w_ih, &mut w);
+                v
+            };
+            let fd = (probe(eps, &mut l) - probe(-eps, &mut l)) / (2.0 * eps);
+            assert!(
+                (ga[idx] - fd).abs() < 5e-3,
+                "param grad idx={idx}: analytic {} vs fd {fd}",
+                ga[idx]
+            );
+            checked += 1;
+        }
+        assert_eq!(checked, 5);
+    }
+
+    #[test]
+    fn frozen_lstm_accumulates_no_grads() {
+        let mut l = lstm(2, 2);
+        l.trainable = false;
+        let xs = vec![vec![1.0, -1.0]];
+        l.forward(&xs);
+        let dx = l.backward(&vec![vec![1.0, 1.0]]);
+        assert_eq!(dx.len(), 1, "input grads still flow through frozen layers");
+        let mut visited = 0;
+        l.visit_params(&mut |_, _| visited += 1);
+        assert_eq!(visited, 0);
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let l = lstm(2, 4);
+        assert!(l.b[4..8].iter().all(|&v| v == 1.0));
+        assert!(l.b[0..4].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = lstm(3, 5);
+        let b = lstm(3, 5);
+        assert_eq!(a.w_ih, b.w_ih);
+        assert_eq!(a.w_hh, b.w_hh);
+    }
+}

@@ -1,0 +1,538 @@
+//! [`SequenceModel`]: an ordered stack of layers with a classification head.
+
+use rand::{Rng, RngExt as _};
+use serde::{Deserialize, Serialize};
+
+use pelican_tensor::softmax_temperature_in_place;
+
+use crate::{Dropout, Layer, Linear, Lstm, Sequence, Step};
+
+/// Inference-time post-processing of confidence vectors.
+///
+/// [`Postprocess::Temperature`] is subsumed by
+/// [`SequenceModel::set_temperature`]; the other variants implement the
+/// *comparison* defenses the paper surveys in Table V: additive noise on
+/// the outputs (MemGuard-style output perturbation) and precision
+/// truncation. They let experiments pit Pelican's temperature layer
+/// against the obvious alternatives on equal footing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Postprocess {
+    /// No post-processing (the default).
+    None,
+    /// Add zero-mean Gaussian-ish noise with the given standard deviation
+    /// to every confidence, clamp at 0 and renormalize. Noise is
+    /// *deterministic per query* (seeded by a hash of the input), so an
+    /// adversary cannot average it away by repeating a query.
+    GaussianNoise {
+        /// Noise standard deviation.
+        sigma: f32,
+        /// Seed mixed into the per-query hash.
+        seed: u64,
+    },
+    /// Round every confidence to `decimals` decimal places and
+    /// renormalize — the crudest way to starve an attack of low-order
+    /// confidence bits.
+    Round {
+        /// Number of decimal places kept.
+        decimals: u32,
+    },
+}
+
+impl Default for Postprocess {
+    fn default() -> Self {
+        Postprocess::None
+    }
+}
+
+impl Postprocess {
+    /// Applies the post-processing to a confidence vector in place.
+    /// `query_hash` identifies the query for deterministic noise.
+    fn apply(&self, probs: &mut [f32], query_hash: u64) {
+        match *self {
+            Postprocess::None => {}
+            Postprocess::GaussianNoise { sigma, seed } => {
+                let mut state = query_hash ^ seed ^ 0x9E37_79B9_7F4A_7C15;
+                for p in probs.iter_mut() {
+                    // xorshift + sum-of-uniforms ≈ gaussian (Irwin–Hall 4).
+                    let mut acc = 0.0f32;
+                    for _ in 0..4 {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        acc += (state >> 40) as f32 / (1u64 << 24) as f32;
+                    }
+                    let noise = (acc - 2.0) * sigma * (3.0f32).sqrt();
+                    *p = (*p + noise).max(0.0);
+                }
+                renormalize(probs);
+            }
+            Postprocess::Round { decimals } => {
+                let scale = 10f32.powi(decimals as i32);
+                for p in probs.iter_mut() {
+                    *p = (*p * scale).round() / scale;
+                }
+                renormalize(probs);
+            }
+        }
+    }
+}
+
+fn renormalize(probs: &mut [f32]) {
+    let sum: f32 = probs.iter().sum();
+    if sum > 0.0 {
+        for p in probs.iter_mut() {
+            *p /= sum;
+        }
+    } else if let Some(first) = probs.first() {
+        // All mass rounded/clamped away; fall back to uniform.
+        let uniform = 1.0 / probs.len() as f32;
+        let _ = first;
+        probs.fill(uniform);
+    }
+}
+
+fn hash_query(xs: &Sequence) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for step in xs {
+        for &v in step {
+            h ^= v.to_bits() as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+/// A sequence classification model: stacked layers whose final timestep
+/// output is interpreted as class logits.
+///
+/// This is the shape of every model in the paper (Fig. 1): LSTM layers
+/// (optionally interleaved with dropout) followed by a linear head. The
+/// model also carries an inference-time softmax `temperature` — the paper's
+/// privacy layer (§V-B). At `temperature == 1` the model behaves like a
+/// plain softmax classifier; pushing the temperature toward zero sharpens
+/// confidence scores without changing their ranking, which preserves top-k
+/// accuracy while starving model-inversion attacks of signal.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SequenceModel {
+    layers: Vec<Layer>,
+    temperature: f32,
+    #[serde(default)]
+    postprocess: Postprocess,
+}
+
+impl SequenceModel {
+    /// Starts building a model layer by layer.
+    pub fn builder() -> ModelBuilder {
+        ModelBuilder { layers: Vec::new() }
+    }
+
+    /// Creates a model from an explicit layer stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn from_layers(layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "a model needs at least one layer");
+        Self { layers, temperature: 1.0, postprocess: Postprocess::None }
+    }
+
+    /// The paper's two-LSTM general architecture (Fig. 1a): two LSTM layers
+    /// with dropout in between, then a linear head.
+    pub fn general_lstm<R: Rng + ?Sized>(
+        input_dim: usize,
+        hidden_dim: usize,
+        num_classes: usize,
+        dropout: f32,
+        rng: &mut R,
+    ) -> Self {
+        let dropout_seed = rng.random::<u64>();
+        Self::builder()
+            .lstm(input_dim, hidden_dim, rng)
+            .dropout(dropout, dropout_seed)
+            .lstm(hidden_dim, hidden_dim, rng)
+            .linear(hidden_dim, num_classes, rng)
+            .build()
+    }
+
+    /// A single-LSTM model — the paper's from-scratch personalization
+    /// baseline ("LSTM" row of Table III).
+    pub fn single_lstm<R: Rng + ?Sized>(
+        input_dim: usize,
+        hidden_dim: usize,
+        num_classes: usize,
+        dropout: f32,
+        rng: &mut R,
+    ) -> Self {
+        let dropout_seed = rng.random::<u64>();
+        Self::builder()
+            .lstm(input_dim, hidden_dim, rng)
+            .dropout(dropout, dropout_seed)
+            .linear(hidden_dim, num_classes, rng)
+            .build()
+    }
+
+    /// Number of input features per timestep.
+    pub fn input_dim(&self) -> usize {
+        match &self.layers[0] {
+            Layer::Lstm(l) => l.input_dim(),
+            Layer::Linear(l) => l.input_dim(),
+            Layer::Dropout(_) => panic!("model starts with dropout; input dim undefined"),
+        }
+    }
+
+    /// Number of output classes.
+    pub fn output_dim(&self) -> usize {
+        self.layers
+            .iter()
+            .rev()
+            .find_map(|l| match l {
+                Layer::Lstm(l) => Some(l.output_dim()),
+                Layer::Linear(l) => Some(l.output_dim()),
+                Layer::Dropout(_) => None,
+            })
+            .expect("model has at least one parameterized layer")
+    }
+
+    /// The inference-time softmax temperature (1.0 = disabled).
+    pub fn temperature(&self) -> f32 {
+        self.temperature
+    }
+
+    /// Sets the inference-time softmax temperature — Pelican's privacy
+    /// layer. Values in `(0, 1)` sharpen confidences; 1.0 disables scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `temperature > 0` and finite.
+    pub fn set_temperature(&mut self, temperature: f32) {
+        assert!(
+            temperature > 0.0 && temperature.is_finite(),
+            "temperature must be positive and finite, got {temperature}"
+        );
+        self.temperature = temperature;
+    }
+
+    /// Borrows the layer stack.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutably borrows the layer stack (e.g. to freeze layers).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Inserts a layer immediately before the final layer (the linear head).
+    ///
+    /// This implements the feature-extraction flavour of transfer learning
+    /// (Fig. 1b): freeze the pretrained stack, then stack a fresh LSTM
+    /// before the output layer to learn user-specific patterns.
+    pub fn insert_before_head(&mut self, layer: Layer) {
+        let at = self.layers.len() - 1;
+        self.layers.insert(at, layer);
+    }
+
+    /// Freezes every layer (no parameter updates anywhere).
+    pub fn freeze_all(&mut self) {
+        for l in &mut self.layers {
+            l.set_trainable(false);
+        }
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Number of parameters in trainable (unfrozen) layers.
+    pub fn trainable_param_count(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| l.is_trainable())
+            .map(Layer::param_count)
+            .sum()
+    }
+
+    /// Inference-mode forward pass returning raw logits for the final
+    /// timestep. No dropout, no caches, no temperature.
+    pub fn logits(&self, xs: &Sequence) -> Step {
+        assert!(!xs.is_empty(), "cannot run a model on an empty sequence");
+        let mut cur = self.layers[0].infer(xs);
+        for layer in &self.layers[1..] {
+            cur = layer.infer(&cur);
+        }
+        cur.pop().expect("sequence length preserved by all layers")
+    }
+
+    /// Confidence scores for the final timestep: temperature-scaled softmax
+    /// over [`SequenceModel::logits`]. This is the black-box interface the
+    /// service provider (and therefore the adversary) sees.
+    pub fn predict_proba(&self, xs: &Sequence) -> Step {
+        let mut logits = self.logits(xs);
+        softmax_temperature_in_place(&mut logits, self.temperature);
+        self.postprocess.apply(&mut logits, hash_query(xs));
+        logits
+    }
+
+    /// The configured confidence post-processing.
+    pub fn postprocess(&self) -> Postprocess {
+        self.postprocess
+    }
+
+    /// Installs confidence post-processing (see [`Postprocess`]). Applied
+    /// after temperature scaling and softmax, at inference only.
+    pub fn set_postprocess(&mut self, postprocess: Postprocess) {
+        self.postprocess = postprocess;
+    }
+
+    /// Indices of the `k` most confident classes, descending.
+    pub fn predict_top_k(&self, xs: &Sequence, k: usize) -> Vec<usize> {
+        pelican_tensor::top_k(&self.logits(xs), k)
+    }
+
+    /// Training-mode forward pass (dropout active, caches written).
+    /// Returns the full output sequence of the last layer.
+    pub fn forward(&mut self, xs: &Sequence) -> Sequence {
+        assert!(!xs.is_empty(), "cannot run a model on an empty sequence");
+        let mut cur = self.layers[0].forward(xs);
+        for layer in &mut self.layers[1..] {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    /// Backward pass from a gradient on the final timestep's logits.
+    ///
+    /// Accumulates parameter gradients in trainable layers and returns the
+    /// gradient with respect to every input timestep — the quantity the
+    /// gradient-descent inversion attack consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`SequenceModel::forward`] in this round.
+    pub fn backward_from_logits(&mut self, seq_len: usize, dlogits: Step) -> Sequence {
+        let zero_width = dlogits.len();
+        let mut grads: Sequence = vec![vec![0.0; zero_width]; seq_len];
+        let last = seq_len - 1;
+        grads[last] = dlogits;
+        for layer in self.layers.iter_mut().rev() {
+            grads = layer.backward(&grads);
+        }
+        grads
+    }
+
+    /// Computes the gradient of the cross-entropy loss (toward `target`)
+    /// with respect to the *input sequence*, leaving parameters untouched.
+    ///
+    /// Runs a cache-writing forward pass internally, so `&mut self`; the
+    /// accumulated parameter gradients are zeroed afterwards to keep the
+    /// model state clean for subsequent training.
+    pub fn input_gradient(&mut self, xs: &Sequence, target: usize) -> (f32, Sequence) {
+        let out = self.infer_forward_cached(xs);
+        let logits = out.last().expect("nonempty sequence").clone();
+        let (loss, dlogits) = crate::softmax_cross_entropy(&logits, target);
+        let grads = self.backward_from_logits(xs.len(), dlogits);
+        self.zero_grad();
+        (loss, grads)
+    }
+
+    /// Forward pass that writes caches but applies *inference* semantics to
+    /// dropout (identity). Needed by attacks: the adversary interrogates the
+    /// deployed model, which has dropout disabled, yet still needs caches
+    /// for the backward pass.
+    fn infer_forward_cached(&mut self, xs: &Sequence) -> Sequence {
+        let mut cur = xs.clone();
+        for layer in &mut self.layers {
+            cur = match layer {
+                Layer::Dropout(d) => d.forward_identity(&cur),
+                other => other.forward(&cur),
+            };
+        }
+        cur
+    }
+
+    /// Clears accumulated gradients in all layers.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grad();
+        }
+    }
+
+    /// One-line architecture summary, e.g.
+    /// `lstm(229->128) -> dropout(0.1) -> lstm(128->128) -> linear(128->150) @T=1`.
+    pub fn describe(&self) -> String {
+        let body: Vec<String> = self.layers.iter().map(Layer::describe).collect();
+        format!("{} @T={}", body.join(" -> "), self.temperature)
+    }
+}
+
+/// Builder for [`SequenceModel`]; see [`SequenceModel::builder`].
+#[derive(Debug)]
+pub struct ModelBuilder {
+    layers: Vec<Layer>,
+}
+
+impl ModelBuilder {
+    /// Appends an LSTM layer.
+    pub fn lstm<R: Rng + ?Sized>(mut self, input_dim: usize, hidden_dim: usize, rng: &mut R) -> Self {
+        self.layers.push(Lstm::new(input_dim, hidden_dim, rng).into());
+        self
+    }
+
+    /// Appends a dropout layer.
+    pub fn dropout(mut self, rate: f32, seed: u64) -> Self {
+        self.layers.push(Dropout::new(rate, seed).into());
+        self
+    }
+
+    /// Appends a linear layer.
+    pub fn linear<R: Rng + ?Sized>(mut self, input_dim: usize, output_dim: usize, rng: &mut R) -> Self {
+        self.layers.push(Linear::new(input_dim, output_dim, rng).into());
+        self
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no layers were added or adjacent layer dimensions mismatch.
+    pub fn build(self) -> SequenceModel {
+        assert!(!self.layers.is_empty(), "a model needs at least one layer");
+        let mut prev_out: Option<usize> = None;
+        for layer in &self.layers {
+            let (i, o) = match layer {
+                Layer::Lstm(l) => (Some(l.input_dim()), Some(l.output_dim())),
+                Layer::Linear(l) => (Some(l.input_dim()), Some(l.output_dim())),
+                Layer::Dropout(_) => (None, None),
+            };
+            if let (Some(expect), Some(got)) = (prev_out, i) {
+                assert_eq!(
+                    expect, got,
+                    "layer {} expects input {got} but previous layer outputs {expect}",
+                    layer.describe()
+                );
+            }
+            if o.is_some() {
+                prev_out = o;
+            }
+        }
+        SequenceModel::from_layers(self.layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model() -> SequenceModel {
+        let mut rng = StdRng::seed_from_u64(5);
+        SequenceModel::general_lstm(6, 8, 4, 0.1, &mut rng)
+    }
+
+    #[test]
+    fn proba_is_a_distribution() {
+        let m = tiny_model();
+        let xs = vec![vec![0.5; 6], vec![-0.5; 6]];
+        let p = m.predict_proba(&xs);
+        assert_eq!(p.len(), 4);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(p.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn temperature_does_not_change_top1() {
+        let mut m = tiny_model();
+        let xs = vec![vec![0.3; 6], vec![0.1; 6]];
+        let before = m.predict_top_k(&xs, 1);
+        m.set_temperature(1e-2);
+        let p = m.predict_proba(&xs);
+        assert_eq!(pelican_tensor::argmax(&p), Some(before[0]));
+    }
+
+    #[test]
+    fn builder_checks_dimensions() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            SequenceModel::builder()
+                .lstm(4, 8, &mut rng)
+                .linear(9, 2, &mut rng) // mismatched: 8 != 9
+                .build()
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn insert_before_head_grows_stack() {
+        let mut m = tiny_model();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = m.layers().len();
+        m.insert_before_head(Lstm::new(8, 8, &mut rng).into());
+        assert_eq!(m.layers().len(), n + 1);
+        assert!(matches!(m.layers()[n - 1], Layer::Lstm(_)));
+        assert!(matches!(m.layers()[n], Layer::Linear(_)));
+        // Model still runs end to end.
+        let p = m.predict_proba(&vec![vec![0.0; 6]; 2]);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn freeze_all_zeroes_trainable_count() {
+        let mut m = tiny_model();
+        assert!(m.trainable_param_count() > 0);
+        m.freeze_all();
+        assert_eq!(m.trainable_param_count(), 0);
+        assert!(m.param_count() > 0);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut m = tiny_model();
+        let xs = vec![vec![0.2; 6], vec![-0.3; 6]];
+        let target = 1;
+        let (_, grads) = m.input_gradient(&xs, target);
+        let eps = 1e-2;
+        for t in 0..2 {
+            for j in [0usize, 3, 5] {
+                let mut plus = xs.clone();
+                plus[t][j] += eps;
+                let mut minus = xs.clone();
+                minus[t][j] -= eps;
+                let f = |s: &Sequence| crate::softmax_cross_entropy(&m.logits(s), target).0;
+                let fd = (f(&plus) - f(&minus)) / (2.0 * eps);
+                assert!(
+                    (grads[t][j] - fd).abs() < 2e-2,
+                    "t={t} j={j}: analytic {} vs fd {fd}",
+                    grads[t][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn describe_mentions_every_layer() {
+        let m = tiny_model();
+        let d = m.describe();
+        assert!(d.contains("lstm(6->8)"));
+        assert!(d.contains("dropout(0.1)"));
+        assert!(d.contains("linear(8->4)"));
+        assert!(d.contains("@T=1"));
+    }
+
+    #[test]
+    fn input_gradient_leaves_params_clean() {
+        let mut m = tiny_model();
+        let xs = vec![vec![0.1; 6]; 2];
+        let _ = m.input_gradient(&xs, 0);
+        let mut dirty = false;
+        for l in m.layers_mut() {
+            l.visit_params(&mut |_, g| {
+                if g.iter().any(|&v| v != 0.0) {
+                    dirty = true;
+                }
+            });
+        }
+        assert!(!dirty, "input_gradient must zero parameter grads");
+    }
+}

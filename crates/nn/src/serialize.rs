@@ -1,0 +1,298 @@
+//! Binary (de)serialization of models.
+//!
+//! Pelican moves models between tiers: the general model is trained in the
+//! cloud and *downloaded to the device* for personalization, and a
+//! personalized model may be *uploaded back* for cloud deployment (§V-A).
+//! [`ModelEnvelope`] is the wire format for those transfers — a compact,
+//! versioned, length-prefixed binary layout (little-endian `f32` weights)
+//! with no dependency on a serialization framework.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use pelican_tensor::Matrix;
+
+use crate::{Dropout, Layer, Linear, Lstm, SequenceModel};
+
+const MAGIC: &[u8; 4] = b"PLCN";
+const VERSION: u16 = 1;
+
+const TAG_LSTM: u8 = 0;
+const TAG_LINEAR: u8 = 1;
+const TAG_DROPOUT: u8 = 2;
+
+/// Errors produced when decoding a serialized model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelCodecError {
+    /// The buffer does not begin with the expected magic bytes.
+    BadMagic,
+    /// The format version is newer than this library understands.
+    UnsupportedVersion(u16),
+    /// The buffer ended before the declared content did.
+    Truncated,
+    /// An unknown layer tag was encountered.
+    UnknownLayerTag(u8),
+    /// A decoded dimension or count was implausible (e.g. zero).
+    InvalidDimension,
+}
+
+impl std::fmt::Display for ModelCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelCodecError::BadMagic => write!(f, "buffer is not a Pelican model envelope"),
+            ModelCodecError::UnsupportedVersion(v) => {
+                write!(f, "unsupported model envelope version {v}")
+            }
+            ModelCodecError::Truncated => write!(f, "model envelope ended unexpectedly"),
+            ModelCodecError::UnknownLayerTag(t) => write!(f, "unknown layer tag {t}"),
+            ModelCodecError::InvalidDimension => write!(f, "invalid dimension in model envelope"),
+        }
+    }
+}
+
+impl std::error::Error for ModelCodecError {}
+
+/// A serialized [`SequenceModel`] ready for transfer between tiers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelEnvelope {
+    bytes: Bytes,
+}
+
+impl ModelEnvelope {
+    /// Serializes a model.
+    pub fn encode(model: &SequenceModel) -> Self {
+        let mut buf = BytesMut::with_capacity(64 + model.param_count() * 4);
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_f32_le(model.temperature());
+        buf.put_u32_le(model.layers().len() as u32);
+        for layer in model.layers() {
+            match layer {
+                Layer::Lstm(l) => {
+                    buf.put_u8(TAG_LSTM);
+                    buf.put_u8(l.trainable as u8);
+                    buf.put_u32_le(l.input_dim() as u32);
+                    buf.put_u32_le(l.output_dim() as u32);
+                    put_matrix(&mut buf, l.weight_ih());
+                    put_matrix(&mut buf, l.weight_hh());
+                    put_f32s(&mut buf, l.bias());
+                }
+                Layer::Linear(l) => {
+                    buf.put_u8(TAG_LINEAR);
+                    buf.put_u8(l.trainable as u8);
+                    buf.put_u32_le(l.input_dim() as u32);
+                    buf.put_u32_le(l.output_dim() as u32);
+                    put_matrix(&mut buf, l.weight());
+                    put_f32s(&mut buf, l.bias());
+                }
+                Layer::Dropout(d) => {
+                    buf.put_u8(TAG_DROPOUT);
+                    buf.put_u8(0);
+                    buf.put_f32_le(d.rate());
+                }
+            }
+        }
+        Self { bytes: buf.freeze() }
+    }
+
+    /// Deserializes a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelCodecError`] for malformed, truncated or
+    /// unsupported buffers.
+    ///
+    /// Dropout layers are reconstructed with a fresh mask seed: dropout is
+    /// train-time-only state, irrelevant to a deployed model's behaviour.
+    pub fn decode(&self) -> Result<SequenceModel, ModelCodecError> {
+        let mut buf = self.bytes.clone();
+        if buf.remaining() < MAGIC.len() + 2 {
+            return Err(ModelCodecError::Truncated);
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(ModelCodecError::BadMagic);
+        }
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(ModelCodecError::UnsupportedVersion(version));
+        }
+        let temperature = get_f32(&mut buf)?;
+        let n_layers = get_u32(&mut buf)? as usize;
+        if n_layers == 0 {
+            return Err(ModelCodecError::InvalidDimension);
+        }
+        let mut layers = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            if buf.remaining() < 2 {
+                return Err(ModelCodecError::Truncated);
+            }
+            let tag = buf.get_u8();
+            let trainable = buf.get_u8() != 0;
+            match tag {
+                TAG_LSTM => {
+                    let input = get_u32(&mut buf)? as usize;
+                    let hidden = get_u32(&mut buf)? as usize;
+                    if input == 0 || hidden == 0 {
+                        return Err(ModelCodecError::InvalidDimension);
+                    }
+                    let w_ih = get_matrix(&mut buf, 4 * hidden, input)?;
+                    let w_hh = get_matrix(&mut buf, 4 * hidden, hidden)?;
+                    let b = get_f32s(&mut buf, 4 * hidden)?;
+                    let mut lstm = Lstm::from_parts(w_ih, w_hh, b);
+                    lstm.trainable = trainable;
+                    layers.push(Layer::Lstm(lstm));
+                }
+                TAG_LINEAR => {
+                    let input = get_u32(&mut buf)? as usize;
+                    let output = get_u32(&mut buf)? as usize;
+                    if input == 0 || output == 0 {
+                        return Err(ModelCodecError::InvalidDimension);
+                    }
+                    let w = get_matrix(&mut buf, output, input)?;
+                    let b = get_f32s(&mut buf, output)?;
+                    let mut linear = Linear::from_parts(w, b);
+                    linear.trainable = trainable;
+                    layers.push(Layer::Linear(linear));
+                }
+                TAG_DROPOUT => {
+                    let rate = get_f32(&mut buf)?;
+                    if !(0.0..1.0).contains(&rate) {
+                        return Err(ModelCodecError::InvalidDimension);
+                    }
+                    layers.push(Layer::Dropout(Dropout::new(rate, 0)));
+                }
+                other => return Err(ModelCodecError::UnknownLayerTag(other)),
+            }
+        }
+        let mut model = SequenceModel::from_layers(layers);
+        model.set_temperature(temperature);
+        Ok(model)
+    }
+
+    /// The envelope's size in bytes (what a device would download).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the envelope is empty (never true for encoded models).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Borrows the raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Wraps raw bytes received from a peer.
+    pub fn from_bytes(bytes: impl Into<Bytes>) -> Self {
+        Self { bytes: bytes.into() }
+    }
+}
+
+fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
+    put_f32s(buf, m.as_slice());
+}
+
+fn put_f32s(buf: &mut BytesMut, xs: &[f32]) {
+    for &x in xs {
+        buf.put_f32_le(x);
+    }
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32, ModelCodecError> {
+    if buf.remaining() < 4 {
+        return Err(ModelCodecError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_f32(buf: &mut Bytes) -> Result<f32, ModelCodecError> {
+    if buf.remaining() < 4 {
+        return Err(ModelCodecError::Truncated);
+    }
+    Ok(buf.get_f32_le())
+}
+
+fn get_f32s(buf: &mut Bytes, n: usize) -> Result<Vec<f32>, ModelCodecError> {
+    if buf.remaining() < 4 * n {
+        return Err(ModelCodecError::Truncated);
+    }
+    Ok((0..n).map(|_| buf.get_f32_le()).collect())
+}
+
+fn get_matrix(buf: &mut Bytes, rows: usize, cols: usize) -> Result<Matrix, ModelCodecError> {
+    Ok(Matrix::from_vec(rows, cols, get_f32s(buf, rows * cols)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> SequenceModel {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut m = SequenceModel::general_lstm(5, 6, 3, 0.1, &mut rng);
+        m.set_temperature(0.5);
+        m.layers_mut()[0].set_trainable(false);
+        m
+    }
+
+    #[test]
+    fn round_trip_preserves_behaviour() {
+        let m = model();
+        let decoded = ModelEnvelope::encode(&m).decode().expect("round trip");
+        assert_eq!(decoded.temperature(), 0.5);
+        assert!(!decoded.layers()[0].is_trainable());
+        let xs = vec![vec![0.3; 5], vec![-0.2; 5]];
+        assert_eq!(m.logits(&xs), decoded.logits(&xs));
+        assert_eq!(m.predict_proba(&xs), decoded.predict_proba(&xs));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let env = ModelEnvelope::from_bytes(vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(matches!(env.decode(), Err(ModelCodecError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let full = ModelEnvelope::encode(&model());
+        let cut = ModelEnvelope::from_bytes(full.as_bytes()[..full.len() - 5].to_vec());
+        assert!(matches!(cut.decode(), Err(ModelCodecError::Truncated)));
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let full = ModelEnvelope::encode(&model());
+        let mut bytes = full.as_bytes().to_vec();
+        bytes[4] = 99; // version little-endian low byte
+        assert!(matches!(
+            ModelEnvelope::from_bytes(bytes).decode(),
+            Err(ModelCodecError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn envelope_size_tracks_parameters() {
+        let m = model();
+        let env = ModelEnvelope::encode(&m);
+        assert!(env.len() > m.param_count() * 4, "envelope holds all params plus header");
+        assert!(env.len() < m.param_count() * 4 + 256, "overhead stays small");
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        for e in [
+            ModelCodecError::BadMagic,
+            ModelCodecError::UnsupportedVersion(9),
+            ModelCodecError::Truncated,
+            ModelCodecError::UnknownLayerTag(7),
+            ModelCodecError::InvalidDimension,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based gradient checks: analytic backprop must agree with
+//! central finite differences for arbitrary small architectures — the
+//! invariant the gradient-descent inversion attack depends on.
+
+use proptest::prelude::*;
+
+use pelican_nn::{softmax_cross_entropy, Sequence, SequenceModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ce_loss(model: &SequenceModel, xs: &Sequence, target: usize) -> f32 {
+    softmax_cross_entropy(&model.logits(xs), target).0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn input_gradients_match_finite_differences(
+        input_dim in 2usize..6,
+        hidden in 2usize..6,
+        classes in 2usize..5,
+        seq_len in 1usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = SequenceModel::general_lstm(input_dim, hidden, classes, 0.0, &mut rng);
+        let xs: Sequence = (0..seq_len)
+            .map(|t| (0..input_dim).map(|j| ((seed as usize + t * 7 + j * 3) % 11) as f32 / 11.0 - 0.5).collect())
+            .collect();
+        let target = (seed as usize) % classes;
+        let (_, grads) = model.input_gradient(&xs, target);
+        let eps = 1e-2;
+        for t in 0..seq_len {
+            for j in 0..input_dim {
+                let mut plus = xs.clone();
+                plus[t][j] += eps;
+                let mut minus = xs.clone();
+                minus[t][j] -= eps;
+                let fd = (ce_loss(&model, &plus, target) - ce_loss(&model, &minus, target)) / (2.0 * eps);
+                prop_assert!(
+                    (grads[t][j] - fd).abs() < 3e-2,
+                    "t={t} j={j}: analytic {} vs fd {fd}",
+                    grads[t][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_layers_keep_exact_weights_during_training(
+        seed in 0u64..10_000,
+        epochs in 1usize..4,
+    ) {
+        use pelican_nn::{fit, Sample, TrainConfig};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = SequenceModel::general_lstm(4, 5, 3, 0.1, &mut rng);
+        // Freeze the first LSTM only.
+        model.layers_mut()[0].set_trainable(false);
+        let weights_of = |m: &SequenceModel| match &m.layers()[0] {
+            pelican_nn::Layer::Lstm(l) => {
+                (l.weight_ih().clone(), l.weight_hh().clone(), l.bias().to_vec())
+            }
+            _ => unreachable!("first layer is an LSTM"),
+        };
+        let frozen_before = weights_of(&model);
+        let samples: Vec<Sample> = (0..12)
+            .map(|i| {
+                let mut x = vec![0.0; 4];
+                x[i % 4] = 1.0;
+                Sample::new(vec![x.clone(), x], i % 3)
+            })
+            .collect();
+        fit(&mut model, &samples, &TrainConfig { epochs, ..TrainConfig::default() });
+        let frozen_after = weights_of(&model);
+        prop_assert_eq!(frozen_before, frozen_after, "frozen layer must not move");
+    }
+
+    #[test]
+    fn training_never_produces_nan(
+        seed in 0u64..10_000,
+        lr in 1e-4f32..5e-2,
+    ) {
+        use pelican_nn::{fit, Sample, TrainConfig};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = SequenceModel::general_lstm(4, 6, 3, 0.1, &mut rng);
+        let samples: Vec<Sample> = (0..16)
+            .map(|i| {
+                let mut x = vec![0.0; 4];
+                x[i % 4] = 1.0;
+                Sample::new(vec![x.clone(), x], i % 3)
+            })
+            .collect();
+        let report = fit(
+            &mut model,
+            &samples,
+            &TrainConfig { epochs: 3, lr, ..TrainConfig::default() },
+        );
+        for loss in &report.epoch_losses {
+            prop_assert!(loss.is_finite(), "loss diverged to {loss}");
+        }
+        let p = model.predict_proba(&samples[0].xs);
+        prop_assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn logits_are_deterministic_at_inference(
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = SequenceModel::general_lstm(5, 6, 4, 0.5, &mut rng);
+        let xs = vec![vec![0.3; 5], vec![-0.2; 5]];
+        // Dropout must not fire at inference, no matter its rate.
+        prop_assert_eq!(model.logits(&xs), model.logits(&xs));
+        prop_assert_eq!(model.predict_proba(&xs), model.predict_proba(&xs));
+    }
+}

@@ -1,0 +1,90 @@
+//! Process-wide floating-point-operation accounting.
+//!
+//! The Pelican paper compares the *compute cost* of cloud-side general-model
+//! training against device-side transfer-learning personalization
+//! (≈43,000 billion CPU cycles vs ≈15 billion, §V-C2). We reproduce that
+//! comparison on simulated hardware by counting the FLOPs every kernel in
+//! this crate performs and letting the platform layer convert counts into
+//! simulated cycles.
+//!
+//! The counter is a relaxed atomic: exact interleaving across threads does
+//! not matter, only the total.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FLOPS: AtomicU64 = AtomicU64::new(0);
+
+/// Adds `n` floating-point operations to the process-wide counter.
+///
+/// Kernels in this crate call this internally; external code only needs it
+/// when implementing custom kernels that should participate in overhead
+/// accounting.
+#[inline]
+pub fn record_flops(n: u64) {
+    FLOPS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Returns the total number of FLOPs recorded since process start (or the
+/// last [`reset_flops`]).
+#[inline]
+pub fn flops_now() -> u64 {
+    FLOPS.load(Ordering::Relaxed)
+}
+
+/// Resets the process-wide FLOP counter to zero.
+///
+/// Prefer [`FlopGuard`] for scoped measurement; resetting a global counter
+/// from concurrent experiments will interleave their counts.
+pub fn reset_flops() {
+    FLOPS.store(0, Ordering::Relaxed);
+}
+
+/// Measures the FLOPs performed between construction and [`FlopGuard::stop`].
+///
+/// # Example
+///
+/// ```
+/// use pelican_tensor::{FlopGuard, Matrix};
+///
+/// let guard = FlopGuard::start();
+/// let a = Matrix::zeros(8, 8);
+/// let _ = a.matmul(&a);
+/// let spent = guard.stop();
+/// assert_eq!(spent, 2 * 8 * 8 * 8); // 2·m·k·n for GEMM
+/// ```
+#[derive(Debug)]
+pub struct FlopGuard {
+    start: u64,
+}
+
+impl FlopGuard {
+    /// Begins a scoped measurement at the current counter value.
+    pub fn start() -> Self {
+        Self { start: flops_now() }
+    }
+
+    /// Ends the measurement and returns the FLOPs recorded in between.
+    pub fn stop(self) -> u64 {
+        flops_now().saturating_sub(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_measures_delta() {
+        let g = FlopGuard::start();
+        record_flops(123);
+        assert_eq!(g.stop(), 123);
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let before = flops_now();
+        record_flops(7);
+        record_flops(3);
+        assert_eq!(flops_now() - before, 10);
+    }
+}

@@ -1,0 +1,460 @@
+//! A dense, row-major, `f32` matrix.
+//!
+//! [`Matrix`] is deliberately minimal: it provides exactly the kernels the
+//! LSTM training and model-inversion code in the higher crates need, with
+//! cache-friendly loop orderings and FLOP accounting, and nothing else.
+
+use serde::{Deserialize, Serialize};
+
+use crate::flops::record_flops;
+
+/// A dense row-major matrix of `f32` values.
+///
+/// # Example
+///
+/// ```
+/// use pelican_tensor::Matrix;
+///
+/// let mut m = Matrix::zeros(2, 3);
+/// m[(0, 1)] = 5.0;
+/// assert_eq!(m.row(0), &[0.0, 5.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows × cols` matrix with every element set to `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer of {} elements cannot back a {rows}x{cols} matrix",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from a slice of equal-length rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Borrows the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// Uses an `i-k-j` loop ordering so the inner loop streams over
+    /// contiguous rows of both operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue; // one-hot inputs make this branch very profitable
+                }
+                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        record_flops(2 * self.rows as u64 * self.cols as u64 * rhs.cols as u64);
+        out
+    }
+
+    /// Matrix product `self · rhsᵀ` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_transpose(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_transpose dimension mismatch: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        record_flops(2 * self.rows as u64 * self.cols as u64 * rhs.rows as u64);
+        out
+    }
+
+    /// Matrix-vector product `self · x`.
+    ///
+    /// Skips zero inputs, which makes one-hot encoded feature vectors (the
+    /// common case in this workspace) nearly free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "matvec dimension mismatch: {}x{} · vec[{}]",
+            self.rows,
+            self.cols,
+            x.len()
+        );
+        let mut out = vec![0.0; self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let mut acc = 0.0;
+            for (&w, &xv) in row.iter().zip(x) {
+                acc += w * xv;
+            }
+            *o = acc;
+        }
+        record_flops(2 * self.rows as u64 * self.cols as u64);
+        out
+    }
+
+    /// Matrix-vector product with the transpose, `selfᵀ · x`.
+    ///
+    /// Equivalent to `self.transpose().matvec(x)` without materializing the
+    /// transpose; this is the backward-pass companion of [`Matrix::matvec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    pub fn matvec_transpose(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            x.len(),
+            self.rows,
+            "matvec_transpose dimension mismatch: ({}x{})ᵀ · vec[{}]",
+            self.rows,
+            self.cols,
+            x.len()
+        );
+        let mut out = vec![0.0; self.cols];
+        for (i, &xv) in x.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (o, &w) in out.iter_mut().zip(row) {
+                *o += w * xv;
+            }
+        }
+        record_flops(2 * self.rows as u64 * self.cols as u64);
+        out
+    }
+
+    /// Returns the transpose of `self`.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// `self += alpha · other`, elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        record_flops(2 * self.data.len() as u64);
+    }
+
+    /// `self += rowᵀ · col` scaled by `alpha` (a rank-1 update).
+    ///
+    /// `row` must have `self.rows()` elements and `col` must have
+    /// `self.cols()` elements. Used to accumulate weight gradients from a
+    /// single sample without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector lengths do not match the matrix shape.
+    pub fn rank_one_update(&mut self, alpha: f32, row: &[f32], col: &[f32]) {
+        assert_eq!(row.len(), self.rows, "rank_one_update row-length mismatch");
+        assert_eq!(col.len(), self.cols, "rank_one_update col-length mismatch");
+        for (i, &r) in row.iter().enumerate() {
+            if r == 0.0 {
+                continue;
+            }
+            let s = alpha * r;
+            let out_row = &mut self.data[i * self.cols..(i + 1) * self.cols];
+            for (o, &c) in out_row.iter_mut().zip(col) {
+                *o += s * c;
+            }
+        }
+        record_flops(2 * self.data.len() as u64);
+    }
+
+    /// Multiplies every element by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+        record_flops(self.data.len() as u64);
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place<F: FnMut(f32) -> f32>(&mut self, mut f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Frobenius norm (`sqrt` of the sum of squared elements).
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// The largest absolute element, or 0 for an empty matrix.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |m, v| m.max(v.abs()))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl std::fmt::Display for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:>9.4}", self[(r, c)])?;
+                if c + 1 < self.cols.min(8) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let i = Matrix::identity(3);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_transpose_agrees_with_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.5, -1.0], &[2.0, -2.0, 0.25]]);
+        assert_eq!(a.matmul_transpose(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn rank_one_update_matches_outer_product() {
+        let mut m = Matrix::zeros(2, 3);
+        m.rank_one_update(2.0, &[1.0, 3.0], &[4.0, 5.0, 6.0]);
+        assert_eq!(
+            m,
+            Matrix::from_rows(&[&[8.0, 10.0, 12.0], &[24.0, 30.0, 36.0]])
+        );
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn axpy_adds_scaled() {
+        let mut a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 3.0);
+        a.axpy(0.5, &b);
+        assert_eq!(a, Matrix::filled(2, 2, 2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn matmul_rejects_mismatched_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn frobenius_norm_of_unit_axes() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let m = Matrix::zeros(1, 1);
+        assert!(!format!("{m}").is_empty());
+    }
+}

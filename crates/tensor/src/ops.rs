@@ -1,0 +1,208 @@
+//! Elementwise activations, stable softmax variants and top-k selection.
+//!
+//! These free functions operate on slices so they can be applied to matrix
+//! rows, hidden-state vectors and raw logit buffers alike.
+
+use crate::flops::record_flops;
+
+/// Numerically-stable logistic sigmoid.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(pelican_tensor::sigmoid(0.0), 0.5);
+/// ```
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// In-place stable softmax with an optional temperature divisor.
+///
+/// Computes `softmax(x / temperature)` as in Eq. (1) of the paper. The
+/// temperature is the knob both the gradient-descent inversion attack
+/// (softening candidates) and the Pelican privacy layer (sharpening
+/// confidences) turn.
+///
+/// # Panics
+///
+/// Panics if `temperature <= 0` or is not finite.
+pub fn softmax_temperature_in_place(x: &mut [f32], temperature: f32) {
+    assert!(
+        temperature > 0.0 && temperature.is_finite(),
+        "temperature must be a positive finite number, got {temperature}"
+    );
+    if x.is_empty() {
+        return;
+    }
+    let inv_t = 1.0 / temperature;
+    let max = x.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v * inv_t));
+    let mut sum = 0.0;
+    for v in x.iter_mut() {
+        *v = (*v * inv_t - max).exp();
+        sum += *v;
+    }
+    // All-(-inf) rows cannot occur from finite logits, so sum > 0 here.
+    let inv_sum = 1.0 / sum;
+    for v in x.iter_mut() {
+        *v *= inv_sum;
+    }
+    record_flops(4 * x.len() as u64);
+}
+
+/// In-place stable softmax (temperature 1).
+pub fn softmax_in_place(x: &mut [f32]) {
+    softmax_temperature_in_place(x, 1.0);
+}
+
+/// Returns `softmax(x)` as a new vector.
+pub fn softmax(x: &[f32]) -> Vec<f32> {
+    let mut out = x.to_vec();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// In-place stable log-softmax.
+///
+/// Used by the cross-entropy loss: `CE = -log_softmax(logits)[target]`.
+pub fn log_softmax_in_place(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let log_sum: f32 = x.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+    for v in x.iter_mut() {
+        *v -= log_sum;
+    }
+    record_flops(3 * x.len() as u64);
+}
+
+/// Index of the largest element, or `None` for an empty slice.
+///
+/// Ties resolve to the lowest index, matching `argmax` conventions in
+/// numerical frameworks.
+pub fn argmax(x: &[f32]) -> Option<usize> {
+    x.iter()
+        .enumerate()
+        .fold(None, |best: Option<(usize, f32)>, (i, &v)| match best {
+            Some((_, bv)) if bv >= v => best,
+            _ => Some((i, v)),
+        })
+        .map(|(i, _)| i)
+}
+
+/// Indices of the `k` largest elements in descending value order.
+///
+/// Returns fewer than `k` indices if the slice is shorter than `k`. Ties
+/// resolve to lower indices first, so results are deterministic.
+///
+/// # Example
+///
+/// ```
+/// let idx = pelican_tensor::top_k(&[0.1, 0.7, 0.2], 2);
+/// assert_eq!(idx, vec![1, 2]);
+/// ```
+pub fn top_k(x: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..x.len()).collect();
+    idx.sort_by(|&a, &b| x[b].partial_cmp(&x[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b)));
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_is_symmetric() {
+        for x in [-5.0_f32, -1.0, 0.0, 1.0, 5.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sigmoid_handles_extremes() {
+        assert!(sigmoid(100.0) > 0.999_99);
+        assert!(sigmoid(-100.0) < 1e-5);
+        assert!(sigmoid(-1000.0).is_finite());
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn low_temperature_sharpens() {
+        let mut hot = vec![1.0, 2.0, 3.0];
+        let mut cold = vec![1.0, 2.0, 3.0];
+        softmax_temperature_in_place(&mut hot, 1.0);
+        softmax_temperature_in_place(&mut cold, 1e-3);
+        assert!(cold[2] > hot[2]);
+        assert!(cold[2] > 0.999);
+    }
+
+    #[test]
+    fn temperature_preserves_order() {
+        let logits = [0.3, -1.0, 2.5, 0.31];
+        for t in [0.1, 1.0, 10.0] {
+            let mut p = logits.to_vec();
+            softmax_temperature_in_place(&mut p, t);
+            assert_eq!(top_k(&p, 4), top_k(&logits, 4), "temperature {t} changed ranking");
+        }
+        // At extreme temperatures the tail underflows to zero in f32 — the
+        // paper's caveat that accuracy is preserved only "as long as
+        // appropriate precision is used". The argmax always survives.
+        let mut p = logits.to_vec();
+        softmax_temperature_in_place(&mut p, 1e-3);
+        assert_eq!(argmax(&p), argmax(&logits));
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be a positive finite number")]
+    fn zero_temperature_rejected() {
+        softmax_temperature_in_place(&mut [1.0, 2.0], 0.0);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let x = [0.5, -0.25, 3.0];
+        let p = softmax(&x);
+        let mut ls = x.to_vec();
+        log_softmax_in_place(&mut ls);
+        for (l, p) in ls.iter().zip(&p) {
+            assert!((l - p.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn argmax_basics() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[3.0]), Some(0));
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[2.0, 2.0]), Some(0), "ties resolve low");
+    }
+
+    #[test]
+    fn top_k_orders_descending() {
+        assert_eq!(top_k(&[0.1, 0.9, 0.5, 0.7], 3), vec![1, 3, 2]);
+        assert_eq!(top_k(&[0.1], 5), vec![0]);
+        assert!(top_k(&[], 3).is_empty());
+    }
+}

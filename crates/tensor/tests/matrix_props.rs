@@ -1,0 +1,159 @@
+//! Property-based tests of the matrix kernels: algebraic identities that
+//! must hold for any shapes and values.
+
+use proptest::prelude::*;
+
+use pelican_tensor::{argmax, softmax, top_k, Matrix};
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #[test]
+    fn matmul_identity_left_and_right(m in (1usize..6, 1usize..6).prop_flat_map(|(r, c)| matrix(r, c))) {
+        let left = Matrix::identity(m.rows()).matmul(&m);
+        let right = m.matmul(&Matrix::identity(m.cols()));
+        prop_assert_eq!(&left, &m);
+        prop_assert_eq!(&right, &m);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        dims in (1usize..5, 1usize..5, 1usize..5),
+        seed in 0u64..100,
+    ) {
+        let (r, k, c) = dims;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = pelican_tensor::xavier_uniform(r, k, &mut rng);
+        let mut b = pelican_tensor::xavier_uniform(k, c, &mut rng);
+        let c2 = pelican_tensor::xavier_uniform(k, c, &mut rng);
+        // a·(b + c) == a·b + a·c
+        let mut ab = a.matmul(&b);
+        let ac = a.matmul(&c2);
+        ab.axpy(1.0, &ac);
+        b.axpy(1.0, &c2);
+        let combined = a.matmul(&b);
+        for (x, y) in combined.as_slice().iter().zip(ab.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4, "distributivity violated: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_matmul_order(
+        dims in (1usize..5, 1usize..5, 1usize..5),
+        seed in 0u64..100,
+    ) {
+        let (r, k, c) = dims;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = pelican_tensor::xavier_uniform(r, k, &mut rng);
+        let b = pelican_tensor::xavier_uniform(k, c, &mut rng);
+        // (a·b)ᵀ == bᵀ·aᵀ
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matvec_agrees_with_matmul(
+        dims in (1usize..6, 1usize..6),
+        seed in 0u64..100,
+    ) {
+        let (r, c) = dims;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = pelican_tensor::xavier_uniform(r, c, &mut rng);
+        let x = pelican_tensor::xavier_uniform(c, 1, &mut rng);
+        let via_matvec = w.matvec(x.as_slice());
+        let via_matmul = w.matmul(&x);
+        for (a, b) in via_matvec.iter().zip(via_matmul.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matvec_transpose_is_adjoint(
+        dims in (1usize..6, 1usize..6),
+        seed in 0u64..100,
+    ) {
+        // <W·x, y> == <x, Wᵀ·y> — the adjoint identity backprop relies on.
+        let (r, c) = dims;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = pelican_tensor::xavier_uniform(r, c, &mut rng);
+        let x: Vec<f32> = pelican_tensor::xavier_uniform(c, 1, &mut rng).into_vec();
+        let y: Vec<f32> = pelican_tensor::xavier_uniform(r, 1, &mut rng).into_vec();
+        let wx = w.matvec(&x);
+        let wty = w.matvec_transpose(&y);
+        let lhs: f32 = wx.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.iter().zip(&wty).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-3, "adjoint identity violated: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(logits in prop::collection::vec(-20.0f32..20.0, 1..40)) {
+        let p = softmax(&logits);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // argmax preserved
+        prop_assert_eq!(argmax(&p), argmax(&logits));
+    }
+
+    #[test]
+    fn top_k_is_sorted_prefix(values in prop::collection::vec(-100.0f32..100.0, 0..30), k in 0usize..35) {
+        let idx = top_k(&values, k);
+        prop_assert_eq!(idx.len(), k.min(values.len()));
+        for pair in idx.windows(2) {
+            prop_assert!(values[pair[0]] >= values[pair[1]]);
+        }
+        // every non-selected value is <= the k-th selected value
+        if let Some(&last) = idx.last() {
+            for (i, &v) in values.iter().enumerate() {
+                if !idx.contains(&i) {
+                    prop_assert!(v <= values[last] + 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_one_update_is_additive(
+        dims in (1usize..5, 1usize..5),
+        seed in 0u64..100,
+    ) {
+        let (r, c) = dims;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let row: Vec<f32> = pelican_tensor::xavier_uniform(r, 1, &mut rng).into_vec();
+        let col: Vec<f32> = pelican_tensor::xavier_uniform(c, 1, &mut rng).into_vec();
+        let mut once = Matrix::zeros(r, c);
+        once.rank_one_update(2.0, &row, &col);
+        let mut twice = Matrix::zeros(r, c);
+        twice.rank_one_update(1.0, &row, &col);
+        twice.rank_one_update(1.0, &row, &col);
+        for (a, b) in once.as_slice().iter().zip(twice.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_is_subadditive(
+        dims in (1usize..5, 1usize..5),
+        seed in 0u64..100,
+    ) {
+        let (r, c) = dims;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = pelican_tensor::xavier_uniform(r, c, &mut rng);
+        let b = pelican_tensor::xavier_uniform(r, c, &mut rng);
+        let mut sum = a.clone();
+        sum.axpy(1.0, &b);
+        prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-4);
+    }
+}

@@ -1,0 +1,49 @@
+//! The data layer end to end: ground-truth mobility → raw WiFi syslog
+//! events → extracted sessions → the statistics the paper's analyses rest
+//! on (skewed dwell time, regularity, degree of mobility).
+//!
+//! Run with: `cargo run --release --example trace_pipeline`
+
+use pelican_mobility::{
+    compare, extract_sessions, sessions_to_events, trace_stats, CampusConfig, EventNoise,
+    ExtractConfig, Scale, TraceGenerator,
+};
+
+fn main() {
+    let mut generator = TraceGenerator::new(CampusConfig::for_scale(Scale::Small), 7);
+    let campus = generator.campus().clone();
+
+    println!(
+        "campus: {} buildings, {} APs\n",
+        campus.buildings().len(),
+        campus.total_aps()
+    );
+    println!("user  sessions  events  recall  top-share  entropy  regularity  mobility");
+    println!("--------------------------------------------------------------------------");
+    for user_id in 0..6 {
+        let trace = generator.user_trace(user_id);
+
+        // Lower ground truth into noisy controller syslog and re-extract —
+        // the paper's preprocessing path (Trivedi et al.).
+        let events = sessions_to_events(&trace.sessions, EventNoise::default());
+        let extracted = extract_sessions(&events, &campus, ExtractConfig::default());
+        let report = compare(&trace.sessions, &extracted);
+
+        let stats = trace_stats(&extracted);
+        println!(
+            "{:>4}  {:>8}  {:>6}  {:>5.1}%  {:>8.1}%  {:>7.2}  {:>10.2}  {:>8}",
+            user_id,
+            trace.sessions.len(),
+            events.len(),
+            report.recall() * 100.0,
+            stats.top_building_share * 100.0,
+            stats.location_entropy,
+            stats.regularity,
+            stats.distinct_buildings,
+        );
+    }
+    println!(
+        "\nThe skewed top-share and high regularity are what make personalized\n\
+         models accurate — and what the inversion attack feeds on."
+    );
+}
