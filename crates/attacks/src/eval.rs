@@ -151,8 +151,10 @@ mod tests {
         let interest: Vec<usize> = (0..6).collect();
         let method = AttackMethod::TimeBased(TimeBased::default());
         let insts = instances(&space, 4);
-        let mut a = evaluate_attack(&method, &mut model, &space, &prior, &interest, &insts[..2], &[1, 3]);
-        let b = evaluate_attack(&method, &mut model, &space, &prior, &interest, &insts[2..], &[1, 3]);
+        let mut a =
+            evaluate_attack(&method, &mut model, &space, &prior, &interest, &insts[..2], &[1, 3]);
+        let b =
+            evaluate_attack(&method, &mut model, &space, &prior, &interest, &insts[2..], &[1, 3]);
         a.merge(&b);
         assert_eq!(a.total, 4);
         assert!(a.queries > 0);

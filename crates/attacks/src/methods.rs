@@ -2,9 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use pelican_mobility::{
-    entry_slot, FeatureSpace, DURATION_BINS, ENTRY_SLOTS, MINUTES_PER_DAY,
-};
+use pelican_mobility::{entry_slot, FeatureSpace, DURATION_BINS, ENTRY_SLOTS, MINUTES_PER_DAY};
 use pelican_nn::{Sequence, SequenceModel, Step};
 use pelican_tensor::softmax_temperature_in_place;
 
@@ -137,8 +135,8 @@ fn assemble(
 /// reconstructs.
 fn expected_context(space: &FeatureSpace, prior: &Prior, dow: usize) -> Step {
     let mut x = vec![0.0f32; space.dim()];
-    for l in 0..space.n_locations {
-        x[l] = prior.prob(l) as f32;
+    for (l, slot) in x.iter_mut().enumerate().take(space.n_locations) {
+        *slot = prior.prob(l) as f32;
     }
     for slot in 0..ENTRY_SLOTS {
         x[space.entry_offset() + slot] = 1.0 / ENTRY_SLOTS as f32;
@@ -162,17 +160,11 @@ fn zero_scores(prior: &Prior) -> Vec<f64> {
 }
 
 /// Exhaustive enumeration over the hidden step's full feature domain.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct BruteForce {
     /// Optional cap on locations enumerated (cost control at AP scale);
     /// `None` enumerates everything.
     pub max_locations: Option<usize>,
-}
-
-impl Default for BruteForce {
-    fn default() -> Self {
-        Self { max_locations: None }
-    }
 }
 
 impl BruteForce {
@@ -186,7 +178,7 @@ impl BruteForce {
         let mut scores = zero_scores(prior);
         let mut queries = 0u64;
         let n = self.max_locations.map_or(space.n_locations, |m| m.min(space.n_locations));
-        for l in 0..n {
+        for (l, best) in scores.iter_mut().enumerate().take(n) {
             let p_l = prior.prob(l);
             for e in 0..ENTRY_SLOTS {
                 for d in 0..DURATION_BINS {
@@ -195,8 +187,8 @@ impl BruteForce {
                     let conf = model.predict_proba(&xs)[instance.observed_output] as f64;
                     queries += 1;
                     let score = conf * p_l;
-                    if score > scores[l] {
-                        scores[l] = score;
+                    if score > *best {
+                        *best = score;
                     }
                 }
             }
@@ -239,8 +231,8 @@ impl TimeBased {
         let entry_slots = self.candidate_entry_slots(instance);
         for &l in interest {
             let p_l = prior.prob(l);
-            for d in 0..DURATION_BINS {
-                for &e in &entry_slots[d] {
+            for (d, slots) in entry_slots.iter().enumerate() {
+                for &e in slots {
                     let candidate = space.encode(l, e, d, instance.day_of_week);
                     let xs = assemble(space, prior, instance, &candidate);
                     let conf = model.predict_proba(&xs)[instance.observed_output] as f64;
@@ -346,8 +338,7 @@ impl GradientDescent {
         // reconstruction is poor, which is exactly why Fig. 2a shows this
         // method far below the enumeration attacks.
         let final_candidate = self.project(space, &z, instance.day_of_week);
-        let scores: Vec<f64> =
-            (0..space.n_locations).map(|l| final_candidate[l] as f64).collect();
+        let scores: Vec<f64> = (0..space.n_locations).map(|l| final_candidate[l] as f64).collect();
         let _ = prior; // the GD attack uses the prior only for A3's expected context
         (Ranking::from_scores(scores), queries)
     }
@@ -431,11 +422,14 @@ mod tests {
         let (mut model, space, prior, triple) = setup();
         let inst = Adversary::A1.instance(&triple, space.location_of(&triple[2]));
         let interest: Vec<usize> = (0..8).collect();
-        let (_, tq) = AttackMethod::TimeBased(TimeBased::default()).run(
-            &mut model, &space, &prior, &interest, &inst,
-        );
+        let (_, tq) = AttackMethod::TimeBased(TimeBased::default())
+            .run(&mut model, &space, &prior, &interest, &inst);
         let (_, bq) = AttackMethod::BruteForce(BruteForce::default()).run(
-            &mut model, &space, &prior, &[], &inst,
+            &mut model,
+            &space,
+            &prior,
+            &[],
+            &inst,
         );
         assert!(tq * 10 < bq, "time-based ({tq}) should be ≫ cheaper than brute ({bq})");
     }

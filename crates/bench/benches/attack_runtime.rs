@@ -15,10 +15,8 @@ use pelican_attacks::{
 use pelican_mobility::{Scale, SpatialLevel};
 
 fn bench_attacks(c: &mut Criterion) {
-    let scenario = Scenario::builder(Scale::Tiny, SpatialLevel::Building)
-        .seed(42)
-        .personal_users(1)
-        .build();
+    let scenario =
+        Scenario::builder(Scale::Tiny, SpatialLevel::Building).seed(42).personal_users(1).build();
     let user = &scenario.personal[0];
     let prior = scenario.prior(user, PriorKind::True);
     let probes = pelican_attacks::prior::random_probes(&scenario.dataset.space, 24, 1);
@@ -30,10 +28,7 @@ fn bench_attacks(c: &mut Criterion) {
 
     let cases = [
         ("time_based", AttackMethod::TimeBased(TimeBased::default())),
-        (
-            "gradient_descent",
-            AttackMethod::GradientDescent(GradientDescent::default()),
-        ),
+        ("gradient_descent", AttackMethod::GradientDescent(GradientDescent::default())),
         ("brute_force", AttackMethod::BruteForce(BruteForce::default())),
     ];
     for (name, method) in cases {

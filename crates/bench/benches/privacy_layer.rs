@@ -10,10 +10,8 @@ use pelican_attacks::interest_locations;
 use pelican_mobility::{Scale, SpatialLevel};
 
 fn bench_privacy(c: &mut Criterion) {
-    let scenario = Scenario::builder(Scale::Tiny, SpatialLevel::Building)
-        .seed(42)
-        .personal_users(1)
-        .build();
+    let scenario =
+        Scenario::builder(Scale::Tiny, SpatialLevel::Building).seed(42).personal_users(1).build();
     let user = &scenario.personal[0];
     let xs = user.test[0].xs.clone();
 

@@ -9,10 +9,13 @@
 
 use std::process::ExitCode;
 
-use pelican_bench::experiments::{ablation, adversaries, attack_methods, defense, personalization, spatial};
+use pelican_bench::experiments::{
+    ablation, adversaries, attack_methods, defense, personalization, spatial,
+};
 use pelican_bench::{parse_args, RunConfig};
 
-const USAGE: &str = "usage: repro <experiment> [--scale tiny|small|paper] [--seed N] [--users N] [--instances N]
+const USAGE: &str =
+    "usage: repro <experiment> [--scale tiny|small|paper] [--seed N] [--users N] [--instances N]
 experiments:
   fig2a     attack accuracy by method (brute force / gradient descent / time-based)
   table2    attack cost by method (queries + runtime)
@@ -148,8 +151,8 @@ fn run_experiment(name: &str, config: &RunConfig) -> bool {
         }
         "all" => {
             for exp in [
-                "fig2a", "table2", "fig2b", "fig2c", "fig3a", "fig3b", "fig3c", "table3",
-                "table4", "overhead", "fig5a", "fig5b", "fig5c",
+                "fig2a", "table2", "fig2b", "fig2c", "fig3a", "fig3b", "fig3c", "table3", "table4",
+                "overhead", "fig5a", "fig5b", "fig5c",
             ] {
                 run_experiment(exp, config);
             }

@@ -95,15 +95,19 @@ pub fn defense_compare(config: &RunConfig) -> Table {
 pub fn interest_threshold(config: &RunConfig) -> Table {
     let scenario = super::scenario(config, SpatialLevel::Building);
     let method = AttackMethod::TimeBased(TimeBased::default());
-    let mut t = Table::new(&["threshold", "mean interest size", "queries/instance", "attack top-3 (%)"]);
+    let mut t =
+        Table::new(&["threshold", "mean interest size", "queries/instance", "attack top-3 (%)"]);
     for threshold in [0.0f32, 0.001, 0.01, 0.05, 0.2] {
         let mut eval_total = pelican_attacks::AttackEvaluation::empty(&[3]);
         let mut interest_sum = 0usize;
         for user in &scenario.personal {
             let mut model = user.model.clone();
             let prior = scenario.prior(user, PriorKind::True);
-            let probes =
-                pelican_attacks::prior::random_probes(&scenario.dataset.space, 24, scenario.seed ^ 0x1f);
+            let probes = pelican_attacks::prior::random_probes(
+                &scenario.dataset.space,
+                24,
+                scenario.seed ^ 0x1f,
+            );
             let interest = interest_locations(&model, &probes, threshold);
             interest_sum += interest.len();
             let instances =
@@ -135,11 +139,8 @@ pub fn gd_config(config: &RunConfig) -> Table {
     let mut t = Table::new(&["iterations", "projection T", "attack top-3 (%)"]);
     for iterations in [20usize, 60, 150] {
         for temperature in [0.1f32, 0.5, 1.0] {
-            let method = AttackMethod::GradientDescent(GradientDescent {
-                iterations,
-                lr: 2.0,
-                temperature,
-            });
+            let method =
+                AttackMethod::GradientDescent(GradientDescent { iterations, lr: 2.0, temperature });
             let eval = scenario.attack_all(
                 Adversary::A1,
                 &method,
@@ -148,11 +149,7 @@ pub fn gd_config(config: &RunConfig) -> Table {
                 config.instances_per_user,
                 None,
             );
-            t.row(&[
-                iterations.to_string(),
-                format!("{temperature}"),
-                pct(eval.accuracy(3)),
-            ]);
+            t.row(&[iterations.to_string(), format!("{temperature}"), pct(eval.accuracy(3))]);
         }
     }
     t
@@ -171,7 +168,9 @@ pub fn freeze_depth(config: &RunConfig) -> Table {
     let mut t = Table::new(&["retrained suffix", "mean train top-1 (%)", "mean test top-3 (%)"]);
     // Depth 0 = linear head only; 1 = second LSTM + head (the paper's
     // Fig. 1c choice); 2 = everything (no freezing).
-    for (label, unfreeze_from_lstm) in [("head only", usize::MAX), ("lstm2 + head", 2), ("all layers", 1)] {
+    for (label, unfreeze_from_lstm) in
+        [("head only", usize::MAX), ("lstm2 + head", 2), ("all layers", 1)]
+    {
         let mut train_acc = 0.0;
         let mut test_acc = 0.0;
         let mut counted = 0usize;

@@ -32,7 +32,8 @@ pub fn run(config: &RunConfig) -> MethodComparison {
     let mut accuracy = Vec::new();
     let mut cost = Vec::new();
     for (method, instances) in &methods {
-        let eval = scenario.attack_all(Adversary::A1, method, PriorKind::True, &KS, *instances, None);
+        let eval =
+            scenario.attack_all(Adversary::A1, method, PriorKind::True, &KS, *instances, None);
         for &k in &KS {
             accuracy.push((method.name().to_string(), k, eval.accuracy(k)));
         }

@@ -45,7 +45,10 @@ pub fn fig5a(config: &RunConfig) -> Table {
         );
         let mut cells = vec![pm.name().to_string()];
         for &k in &KS_5A {
-            cells.push(format!("{:.1}", reduction_in_leakage(before.accuracy(k), after.accuracy(k))));
+            cells.push(format!(
+                "{:.1}",
+                reduction_in_leakage(before.accuracy(k), after.accuracy(k))
+            ));
         }
         t.row(&cells);
     }
@@ -111,7 +114,10 @@ pub fn fig5c(config: &RunConfig) -> Table {
         );
         let mut cells = vec![level.to_string()];
         for &k in &KS_5C {
-            cells.push(format!("{:.1}", reduction_in_leakage(before.accuracy(k), after.accuracy(k))));
+            cells.push(format!(
+                "{:.1}",
+                reduction_in_leakage(before.accuracy(k), after.accuracy(k))
+            ));
         }
         t.row(&cells);
     }

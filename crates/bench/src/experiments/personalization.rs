@@ -83,7 +83,14 @@ fn hidden_of(scenario: &Scenario) -> usize {
 
 /// Table III: all four methods at both spatial levels.
 pub fn table3(config: &RunConfig) -> Table {
-    let mut t = Table::new(&["location", "method", "train top-1", "test top-1", "test top-2", "test top-3"]);
+    let mut t = Table::new(&[
+        "location",
+        "method",
+        "train top-1",
+        "test top-1",
+        "test top-2",
+        "test top-3",
+    ]);
     for level in [SpatialLevel::Building, SpatialLevel::Ap] {
         let scenario = super::scenario(config, level);
         for method in PersonalizationMethod::all() {
@@ -105,7 +112,14 @@ pub fn table3(config: &RunConfig) -> Table {
 /// for the three trained methods.
 pub fn table4(config: &RunConfig) -> Table {
     let scenario = super::scenario(config, SpatialLevel::Building);
-    let mut t = Table::new(&["train weeks", "method", "train top-1", "test top-1", "test top-2", "test top-3"]);
+    let mut t = Table::new(&[
+        "train weeks",
+        "method",
+        "train top-1",
+        "test top-1",
+        "test top-2",
+        "test top-3",
+    ]);
     for weeks in [2usize, 4, 6, 8] {
         for method in [
             PersonalizationMethod::Lstm,

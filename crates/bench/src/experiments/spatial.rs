@@ -111,9 +111,7 @@ pub fn fig3c(config: &RunConfig) -> Vec<Regression> {
     [SpatialLevel::Ap, SpatialLevel::Building]
         .into_iter()
         .map(|level| {
-            per_user_attack(config, level, |scenario, idx| {
-                scenario.personal[idx].test_accuracy(1)
-            })
+            per_user_attack(config, level, |scenario, idx| scenario.personal[idx].test_accuracy(1))
         })
         .collect()
 }
@@ -124,7 +122,8 @@ pub fn regression_table(reg: &Regression) -> (Table, String) {
     for p in &reg.points {
         t.row(&[p.user_id.to_string(), format!("{:.3}", p.x), pct(p.attack_accuracy)]);
     }
-    let summary = format!("level={} r={:.3} p={:.3e} n={}", reg.level, reg.r, reg.p, reg.points.len());
+    let summary =
+        format!("level={} r={:.3} p={:.3e} n={}", reg.level, reg.r, reg.p, reg.points.len());
     (t, summary)
 }
 

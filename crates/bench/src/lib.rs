@@ -65,14 +65,12 @@ pub fn parse_args(args: &[String]) -> Result<RunConfig, String> {
     let mut config = RunConfig::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let mut take = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} expects a value"))
-        };
+        let mut take = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
         match arg.as_str() {
             "--scale" => {
                 let v = take("--scale")?;
-                config.scale =
-                    Scale::parse(v).ok_or_else(|| format!("unknown scale '{v}' (tiny|small|paper)"))?;
+                config.scale = Scale::parse(v)
+                    .ok_or_else(|| format!("unknown scale '{v}' (tiny|small|paper)"))?;
             }
             "--seed" => {
                 let v = take("--seed")?;
@@ -114,8 +112,9 @@ mod tests {
 
     #[test]
     fn parse_all_flags() {
-        let c = parse_args(&s(&["--scale", "tiny", "--seed", "7", "--users", "3", "--instances", "5"]))
-            .unwrap();
+        let c =
+            parse_args(&s(&["--scale", "tiny", "--seed", "7", "--users", "3", "--instances", "5"]))
+                .unwrap();
         assert_eq!(c.scale, Scale::Tiny);
         assert_eq!(c.seed, 7);
         assert_eq!(c.users, Some(3));

@@ -231,11 +231,7 @@ mod tests {
     fn scratch_lstm_is_single_layer() {
         let g = general();
         let (m, _) = personalize(&g, &samples(40), PersonalizationMethod::Lstm, &config());
-        let lstm_count = m
-            .layers()
-            .iter()
-            .filter(|l| matches!(l, Layer::Lstm(_)))
-            .count();
+        let lstm_count = m.layers().iter().filter(|l| matches!(l, Layer::Lstm(_))).count();
         assert_eq!(lstm_count, 1);
         assert_eq!(m.output_dim(), g.output_dim());
     }

@@ -87,12 +87,7 @@ impl ResourceUsage {
 
     /// A zeroed record for accumulation.
     pub fn zero() -> Self {
-        Self {
-            flops: 0,
-            cycles: 0,
-            simulated: Duration::ZERO,
-            host_elapsed: Duration::ZERO,
-        }
+        Self { flops: 0, cycles: 0, simulated: Duration::ZERO, host_elapsed: Duration::ZERO }
     }
 }
 

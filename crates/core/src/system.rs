@@ -238,8 +238,7 @@ impl PelicanService {
         user_id: usize,
         xs: &[Vec<f32>],
     ) -> Result<(Vec<f32>, Duration), ServiceError> {
-        let enrollment =
-            self.users.get(&user_id).ok_or(ServiceError::UnknownUser(user_id))?;
+        let enrollment = self.users.get(&user_id).ok_or(ServiceError::UnknownUser(user_id))?;
         let expected = enrollment.model.input_dim();
         if xs.iter().any(|step| step.len() != expected) {
             let got = xs.first().map_or(0, |s| s.len());
@@ -269,9 +268,13 @@ impl PelicanService {
     /// # Errors
     ///
     /// Same as [`PelicanService::query`].
-    pub fn top_k(&self, user_id: usize, xs: &[Vec<f32>], k: usize) -> Result<Vec<usize>, ServiceError> {
-        let enrollment =
-            self.users.get(&user_id).ok_or(ServiceError::UnknownUser(user_id))?;
+    pub fn top_k(
+        &self,
+        user_id: usize,
+        xs: &[Vec<f32>],
+        k: usize,
+    ) -> Result<Vec<usize>, ServiceError> {
+        let enrollment = self.users.get(&user_id).ok_or(ServiceError::UnknownUser(user_id))?;
         if enrollment.model.postprocess() == pelican_nn::Postprocess::None {
             let expected = enrollment.model.input_dim();
             if xs.iter().any(|step| step.len() != expected) {
@@ -295,8 +298,7 @@ impl PelicanService {
         mut model: SequenceModel,
         privacy: Option<PrivacyLayer>,
     ) -> Result<(), ServiceError> {
-        let enrollment =
-            self.users.get_mut(&user_id).ok_or(ServiceError::UnknownUser(user_id))?;
+        let enrollment = self.users.get_mut(&user_id).ok_or(ServiceError::UnknownUser(user_id))?;
         if let Some(layer) = privacy {
             layer.apply(&mut model);
         }
@@ -323,11 +325,8 @@ mod tests {
     }
 
     fn trained_general() -> (SequenceModel, FitReport, ResourceUsage) {
-        let trainer = CloudTrainer::new(
-            TrainConfig { epochs: 2, ..TrainConfig::default() },
-            8,
-            0.1,
-        );
+        let trainer =
+            CloudTrainer::new(TrainConfig { epochs: 2, ..TrainConfig::default() }, 8, 0.1);
         trainer.train(6, 4, &samples(30, 6, 4), 1)
     }
 

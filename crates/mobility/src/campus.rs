@@ -155,11 +155,7 @@ impl Campus {
 
     /// Buildings of a given kind.
     pub fn of_kind(&self, kind: BuildingKind) -> Vec<usize> {
-        self.buildings
-            .iter()
-            .filter(|b| b.kind == kind)
-            .map(|b| b.id)
-            .collect()
+        self.buildings.iter().filter(|b| b.kind == kind).map(|b| b.id).collect()
     }
 
     /// The building that owns a global AP index, if valid.

@@ -91,7 +91,13 @@ impl FeatureSpace {
     /// # Panics
     ///
     /// Panics if any index exceeds its block width.
-    pub fn encode(&self, location: usize, entry_slot: usize, duration_bin: usize, dow: usize) -> Step {
+    pub fn encode(
+        &self,
+        location: usize,
+        entry_slot: usize,
+        duration_bin: usize,
+        dow: usize,
+    ) -> Step {
         assert!(location < self.n_locations, "location {location} out of range");
         assert!(entry_slot < ENTRY_SLOTS, "entry slot {entry_slot} out of range");
         assert!(duration_bin < DURATION_BINS, "duration bin {duration_bin} out of range");
@@ -165,10 +171,8 @@ pub struct MobilityDataset {
 impl MobilityDataset {
     /// Converts a triple into a labelled training sample.
     pub fn sample_of(&self, triple: &[Session; 3]) -> Sample {
-        let xs: Sequence = vec![
-            self.space.encode_session(&triple[0]),
-            self.space.encode_session(&triple[1]),
-        ];
+        let xs: Sequence =
+            vec![self.space.encode_session(&triple[0]), self.space.encode_session(&triple[1])];
         Sample::new(xs, self.space.location_of(&triple[2]))
     }
 
@@ -180,9 +184,7 @@ impl MobilityDataset {
     /// Pools the samples of a range of users (the contributor set `G` that
     /// trains the general model).
     pub fn pooled_samples(&self, users: std::ops::Range<usize>) -> Vec<Sample> {
-        users
-            .flat_map(|u| self.users[u].triples.iter().map(|t| self.sample_of(t)))
-            .collect()
+        users.flat_map(|u| self.users[u].triples.iter().map(|t| self.sample_of(t))).collect()
     }
 
     /// Number of location classes.

@@ -93,8 +93,8 @@ pub fn sessions_to_events(sessions: &[Session], noise: EventNoise) -> Vec<ApEven
                 t += noise.reassoc_interval as u64;
             }
         }
-        let drop_disassoc =
-            noise.drop_every_nth_disassoc != usize::MAX && (i + 1) % noise.drop_every_nth_disassoc == 0;
+        let drop_disassoc = noise.drop_every_nth_disassoc != usize::MAX
+            && (i + 1) % noise.drop_every_nth_disassoc == 0;
         if !drop_disassoc {
             events.push(ApEvent {
                 device: s.user,

@@ -49,7 +49,11 @@ struct OpenStay {
 /// # Panics
 ///
 /// Panics if an event references an AP outside the campus.
-pub fn extract_sessions(events: &[ApEvent], campus: &Campus, config: ExtractConfig) -> Vec<Session> {
+pub fn extract_sessions(
+    events: &[ApEvent],
+    campus: &Campus,
+    config: ExtractConfig,
+) -> Vec<Session> {
     let mut sessions = Vec::new();
     let mut open: Option<OpenStay> = None;
     for e in events {
@@ -80,7 +84,14 @@ pub fn extract_sessions(events: &[ApEvent], campus: &Campus, config: ExtractConf
                 // Device surfaced at a different AP: close the old stay at
                 // its last sighting (handles missing disassociations).
                 let closed = *stay;
-                close(&mut sessions, closed, closed.last_seen.max(closed.start), campus, config, e.device);
+                close(
+                    &mut sessions,
+                    closed,
+                    closed.last_seen.max(closed.start),
+                    campus,
+                    config,
+                    e.device,
+                );
                 open = match kind {
                     EventKind::Disassociation => None,
                     _ => Some(OpenStay { ap: e.ap, start: e.timestamp, last_seen: e.timestamp }),
@@ -155,10 +166,7 @@ pub fn compare(truth: &[Session], extracted: &[Session]) -> ExtractionReport {
     let key = |s: &Session| (s.ap, s.day, s.entry_slot());
     let mut truth_keys: Vec<_> = truth.iter().map(key).collect();
     truth_keys.sort_unstable();
-    let matched = extracted
-        .iter()
-        .filter(|s| truth_keys.binary_search(&key(s)).is_ok())
-        .count();
+    let matched = extracted.iter().filter(|s| truth_keys.binary_search(&key(s)).is_ok()).count();
     ExtractionReport { truth: truth.len(), extracted: extracted.len(), matched }
 }
 
@@ -225,8 +233,22 @@ mod tests {
     fn missing_disassociation_closes_at_next_ap() {
         let (campus, _) = setup();
         let truth = vec![
-            Session { user: 0, building: 0, ap: 0, day: 0, entry_minutes: 60, duration_minutes: 50 },
-            Session { user: 0, building: 0, ap: 1, day: 0, entry_minutes: 115, duration_minutes: 40 },
+            Session {
+                user: 0,
+                building: 0,
+                ap: 0,
+                day: 0,
+                entry_minutes: 60,
+                duration_minutes: 50,
+            },
+            Session {
+                user: 0,
+                building: 0,
+                ap: 1,
+                day: 0,
+                entry_minutes: 115,
+                duration_minutes: 40,
+            },
         ];
         let noise = EventNoise { reassoc_interval: 20, drop_every_nth_disassoc: 1 };
         // Every disassociation dropped; keep-alives keep last_seen fresh.
@@ -256,12 +278,8 @@ mod tests {
     #[test]
     fn orphan_disassociation_is_ignored() {
         let (campus, _) = setup();
-        let events = vec![ApEvent {
-            device: 0,
-            ap: 0,
-            kind: EventKind::Disassociation,
-            timestamp: 100,
-        }];
+        let events =
+            vec![ApEvent { device: 0, ap: 0, kind: EventKind::Disassociation, timestamp: 100 }];
         let extracted = extract_sessions(&events, &campus, ExtractConfig::default());
         assert!(extracted.is_empty());
     }

@@ -78,11 +78,7 @@ impl TraceGenerator {
     /// Panics if `user_id` exceeds the configured user count.
     pub fn user_trace(&mut self, user_id: usize) -> UserTrace {
         let config = self.campus.config().clone();
-        assert!(
-            user_id < config.users,
-            "user {user_id} out of range for {} users",
-            config.users
-        );
+        assert!(user_id < config.users, "user {user_id} out of range for {} users", config.users);
         let profile = UserProfile::sample(user_id, &self.campus, self.seed);
         let mut rng = StdRng::seed_from_u64(
             self.seed ^ 0xC0FF_EE00 ^ (user_id as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
@@ -270,8 +266,7 @@ mod tests {
         let home = trace.profile.home;
         let total_days = trace.sessions.iter().map(|s| s.day).max().unwrap() + 1;
         for day in 0..total_days {
-            let day_sessions: Vec<_> =
-                trace.sessions.iter().filter(|s| s.day == day).collect();
+            let day_sessions: Vec<_> = trace.sessions.iter().filter(|s| s.day == day).collect();
             assert!(!day_sessions.is_empty(), "every day has sessions");
             assert_eq!(day_sessions[0].building, home, "day {day} starts at home");
             assert_eq!(
@@ -294,10 +289,7 @@ mod tests {
             total += s.duration_minutes as u64;
         }
         let max = per_building.values().max().copied().unwrap_or(0);
-        assert!(
-            max as f64 / total as f64 > 0.35,
-            "top building should dominate ({max}/{total})"
-        );
+        assert!(max as f64 / total as f64 > 0.35, "top building should dominate ({max}/{total})");
     }
 
     #[test]
@@ -320,10 +312,10 @@ mod tests {
         let mut lo_f: Option<&UserTrace> = None;
         let mut hi_f: Option<&UserTrace> = None;
         for t in &traces {
-            if lo_f.map_or(true, |l| t.profile.routine_fidelity < l.profile.routine_fidelity) {
+            if lo_f.is_none_or(|l| t.profile.routine_fidelity < l.profile.routine_fidelity) {
                 lo_f = Some(t);
             }
-            if hi_f.map_or(true, |h| t.profile.routine_fidelity > h.profile.routine_fidelity) {
+            if hi_f.is_none_or(|h| t.profile.routine_fidelity > h.profile.routine_fidelity) {
                 hi_f = Some(t);
             }
         }

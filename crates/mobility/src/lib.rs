@@ -41,18 +41,18 @@ pub mod stats;
 pub mod user;
 
 pub use campus::{Building, BuildingKind, Campus, CampusConfig};
-pub use events::{sessions_to_events, ApEvent, EventKind, EventNoise};
-pub use extract::{compare, extract_sessions, ExtractConfig, ExtractionReport};
-pub use stats::{dwell_histogram, trace_stats, TraceStats};
 pub use dataset::{
     encode_session, train_test_split, DatasetBuilder, FeatureSpace, MobilityDataset, SpatialLevel,
     UserData,
 };
+pub use events::{sessions_to_events, ApEvent, EventKind, EventNoise};
+pub use extract::{compare, extract_sessions, ExtractConfig, ExtractionReport};
 pub use generator::{TraceGenerator, UserTrace};
 pub use session::{
     duration_bin, entry_slot, Session, DURATION_BINS, DURATION_CAP_MINUTES, ENTRY_SLOTS,
     MINUTES_PER_DAY,
 };
+pub use stats::{dwell_histogram, trace_stats, TraceStats};
 pub use user::UserProfile;
 
 /// Problem-size presets.

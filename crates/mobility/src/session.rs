@@ -158,8 +158,16 @@ mod tests {
 
     #[test]
     fn absolute_entry_orders_sessions() {
-        let a = Session { user: 0, building: 0, ap: 0, day: 0, entry_minutes: 100, duration_minutes: 10 };
-        let b = Session { user: 0, building: 1, ap: 1, day: 1, entry_minutes: 0, duration_minutes: 10 };
+        let a = Session {
+            user: 0,
+            building: 0,
+            ap: 0,
+            day: 0,
+            entry_minutes: 100,
+            duration_minutes: 10,
+        };
+        let b =
+            Session { user: 0, building: 1, ap: 1, day: 1, entry_minutes: 0, duration_minutes: 10 };
         assert!(a.absolute_entry() < b.absolute_entry());
     }
 }

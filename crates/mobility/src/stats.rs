@@ -114,9 +114,7 @@ mod tests {
     use crate::{CampusConfig, Scale, TraceGenerator};
 
     fn sessions() -> Vec<Session> {
-        TraceGenerator::new(CampusConfig::for_scale(Scale::Tiny), 77)
-            .user_trace(2)
-            .sessions
+        TraceGenerator::new(CampusConfig::for_scale(Scale::Tiny), 77).user_trace(2).sessions
     }
 
     #[test]

@@ -67,7 +67,7 @@ impl UserProfile {
 
         // Degree of mobility: most users visit a handful of buildings, a
         // tail visits many (Fig. 3b's 10–40 range at paper scale).
-        let max_degree = (campus.buildings().len() - 1).min(30).max(3);
+        let max_degree = (campus.buildings().len() - 1).clamp(3, 30);
         let mobility_degree = 3 + rng.random_range(0..=(max_degree - 3));
 
         // Predictability knob spans sloppy (0.70) to clockwork (0.97);
@@ -105,19 +105,12 @@ impl UserProfile {
         // "users tend to spend a majority of their time at a single
         // location"). The remaining haunts appear through deviations and
         // errand chains.
-        let my_academics: Vec<usize> = haunts
-            .iter()
-            .copied()
-            .filter(|b| academics.contains(b))
-            .take(4)
-            .collect();
+        let my_academics: Vec<usize> =
+            haunts.iter().copied().filter(|b| academics.contains(b)).take(4).collect();
         let my_dinings: Vec<usize> =
             haunts.iter().copied().filter(|b| dinings.contains(b)).take(2).collect();
-        let my_evening: Vec<usize> = haunts
-            .iter()
-            .copied()
-            .filter(|b| libraries.contains(b) || gyms.contains(b))
-            .collect();
+        let my_evening: Vec<usize> =
+            haunts.iter().copied().filter(|b| libraries.contains(b) || gyms.contains(b)).collect();
 
         let mut anchors = Vec::new();
         for weekday in 0..5 {
@@ -187,9 +180,8 @@ impl UserProfile {
 
         // AP affinity: a preferred offset within every building's AP block.
         let aps_per_building = campus.config().aps_per_building;
-        let ap_affinity = (0..campus.buildings().len())
-            .map(|_| rng.random_range(0..aps_per_building))
-            .collect();
+        let ap_affinity =
+            (0..campus.buildings().len()).map(|_| rng.random_range(0..aps_per_building)).collect();
 
         // Personal errand chains: after building b this user habitually
         // continues to transitions[b] (a haunt or home). Distinct per user,
@@ -203,7 +195,8 @@ impl UserProfile {
                 if rng.random_range(0.0..1.0) < 0.8 {
                     let mut pick = chain_pool[rng.random_range(0..chain_pool.len())];
                     if pick == b && chain_pool.len() > 1 {
-                        pick = chain_pool[(chain_pool.iter().position(|&h| h == b).unwrap_or(0) + 1)
+                        pick = chain_pool[(chain_pool.iter().position(|&h| h == b).unwrap_or(0)
+                            + 1)
                             % chain_pool.len()];
                     }
                     pick
@@ -295,9 +288,8 @@ mod tests {
     #[test]
     fn fidelity_spans_a_meaningful_range() {
         let c = campus();
-        let fids: Vec<f64> = (0..40)
-            .map(|id| UserProfile::sample(id, &c, 11).routine_fidelity)
-            .collect();
+        let fids: Vec<f64> =
+            (0..40).map(|id| UserProfile::sample(id, &c, 11).routine_fidelity).collect();
         let min = fids.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = fids.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!(min < 0.78, "some less predictable users (min {min})");

@@ -56,7 +56,9 @@ pub use metrics::{top_k_accuracy, TopKAccuracy};
 pub use model::{ModelBuilder, Postprocess, SequenceModel};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use serialize::{ModelCodecError, ModelEnvelope};
-pub use train::{fit, grid_search, time_series_folds, EvalReport, FitReport, GridPoint, TrainConfig};
+pub use train::{
+    fit, grid_search, time_series_folds, EvalReport, FitReport, GridPoint, TrainConfig,
+};
 
 /// A single timestep of model input: a dense feature vector.
 pub type Step = Vec<f32>;

@@ -48,14 +48,7 @@ impl Linear {
     /// Panics if `b.len() != w.rows()`.
     pub fn from_parts(w: Matrix, b: Vec<f32>) -> Self {
         assert_eq!(b.len(), w.rows(), "bias length must equal output dimension");
-        Self {
-            w,
-            b,
-            trainable: true,
-            grad_w: None,
-            grad_b: Vec::new(),
-            cache_inputs: Vec::new(),
-        }
+        Self { w, b, trainable: true, grad_w: None, grad_b: Vec::new(), cache_inputs: Vec::new() }
     }
 
     /// Input feature dimension.
@@ -113,9 +106,7 @@ impl Linear {
             self.cache_inputs.len()
         );
         if self.trainable {
-            let gw = self
-                .grad_w
-                .get_or_insert_with(|| Matrix::zeros(self.w.rows(), self.w.cols()));
+            let gw = self.grad_w.get_or_insert_with(|| Matrix::zeros(self.w.rows(), self.w.cols()));
             if self.grad_b.len() != self.b.len() {
                 self.grad_b = vec![0.0; self.b.len()];
             }

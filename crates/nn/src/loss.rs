@@ -21,11 +21,7 @@ use pelican_tensor::log_softmax_in_place;
 /// ```
 pub fn softmax_cross_entropy(logits: &[f32], target: usize) -> (f32, Vec<f32>) {
     assert!(!logits.is_empty(), "cannot compute a loss over zero classes");
-    assert!(
-        target < logits.len(),
-        "target {target} out of range for {} classes",
-        logits.len()
-    );
+    assert!(target < logits.len(), "target {target} out of range for {} classes", logits.len());
     let mut log_probs = logits.to_vec();
     log_softmax_in_place(&mut log_probs);
     let loss = -log_probs[target];

@@ -216,8 +216,7 @@ impl Lstm {
         );
         let h = self.hidden;
         if self.trainable {
-            self.grad_w_ih
-                .get_or_insert_with(|| Matrix::zeros(4 * h, self.w_ih.cols()));
+            self.grad_w_ih.get_or_insert_with(|| Matrix::zeros(4 * h, self.w_ih.cols()));
             self.grad_w_hh.get_or_insert_with(|| Matrix::zeros(4 * h, h));
             if self.grad_b.len() != self.b.len() {
                 self.grad_b = vec![0.0; self.b.len()];
@@ -248,10 +247,11 @@ impl Lstm {
                     .as_mut()
                     .expect("grad buffer initialized above")
                     .rank_one_update(1.0, &dz, &cache.x);
-                self.grad_w_hh
-                    .as_mut()
-                    .expect("grad buffer initialized above")
-                    .rank_one_update(1.0, &dz, &cache.h_prev);
+                self.grad_w_hh.as_mut().expect("grad buffer initialized above").rank_one_update(
+                    1.0,
+                    &dz,
+                    &cache.h_prev,
+                );
                 for (db, &dzv) in self.grad_b.iter_mut().zip(&dz) {
                     *db += dzv;
                 }

@@ -15,9 +15,10 @@ use crate::{Dropout, Layer, Linear, Lstm, Sequence, Step};
 /// the outputs (MemGuard-style output perturbation) and precision
 /// truncation. They let experiments pit Pelican's temperature layer
 /// against the obvious alternatives on equal footing.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Postprocess {
     /// No post-processing (the default).
+    #[default]
     None,
     /// Add zero-mean Gaussian-ish noise with the given standard deviation
     /// to every confidence, clamp at 0 and renormalize. Noise is
@@ -36,12 +37,6 @@ pub enum Postprocess {
         /// Number of decimal places kept.
         decimals: u32,
     },
-}
-
-impl Default for Postprocess {
-    fn default() -> Self {
-        Postprocess::None
-    }
 }
 
 impl Postprocess {
@@ -246,11 +241,7 @@ impl SequenceModel {
 
     /// Number of parameters in trainable (unfrozen) layers.
     pub fn trainable_param_count(&self) -> usize {
-        self.layers
-            .iter()
-            .filter(|l| l.is_trainable())
-            .map(Layer::param_count)
-            .sum()
+        self.layers.iter().filter(|l| l.is_trainable()).map(Layer::param_count).sum()
     }
 
     /// Inference-mode forward pass returning raw logits for the final
@@ -374,7 +365,12 @@ pub struct ModelBuilder {
 
 impl ModelBuilder {
     /// Appends an LSTM layer.
-    pub fn lstm<R: Rng + ?Sized>(mut self, input_dim: usize, hidden_dim: usize, rng: &mut R) -> Self {
+    pub fn lstm<R: Rng + ?Sized>(
+        mut self,
+        input_dim: usize,
+        hidden_dim: usize,
+        rng: &mut R,
+    ) -> Self {
         self.layers.push(Lstm::new(input_dim, hidden_dim, rng).into());
         self
     }
@@ -386,7 +382,12 @@ impl ModelBuilder {
     }
 
     /// Appends a linear layer.
-    pub fn linear<R: Rng + ?Sized>(mut self, input_dim: usize, output_dim: usize, rng: &mut R) -> Self {
+    pub fn linear<R: Rng + ?Sized>(
+        mut self,
+        input_dim: usize,
+        output_dim: usize,
+        rng: &mut R,
+    ) -> Self {
         self.layers.push(Linear::new(input_dim, output_dim, rng).into());
         self
     }
@@ -407,7 +408,8 @@ impl ModelBuilder {
             };
             if let (Some(expect), Some(got)) = (prev_out, i) {
                 assert_eq!(
-                    expect, got,
+                    expect,
+                    got,
                     "layer {} expects input {got} but previous layer outputs {expect}",
                     layer.describe()
                 );

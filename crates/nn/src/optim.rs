@@ -173,11 +173,8 @@ impl Adam {
                     self.v[slot] = vec![0.0; param.len()];
                 }
                 let (ms, vs) = (&mut self.m[slot], &mut self.v[slot]);
-                for (((p, g), m), v) in param
-                    .iter_mut()
-                    .zip(grad.iter())
-                    .zip(ms.iter_mut())
-                    .zip(vs.iter_mut())
+                for (((p, g), m), v) in
+                    param.iter_mut().zip(grad.iter()).zip(ms.iter_mut()).zip(vs.iter_mut())
                 {
                     let g = g * inv_b + self.weight_decay * *p;
                     *m = self.beta1 * *m + (1.0 - self.beta1) * g;

@@ -61,10 +61,9 @@ impl TrainConfig {
     fn make_optimizer(&self) -> Optimizer {
         match self.optimizer {
             OptimizerKind::Adam => Adam::new(self.lr).with_weight_decay(self.weight_decay).into(),
-            OptimizerKind::Sgd => Sgd::new(self.lr)
-                .with_momentum(0.9)
-                .with_weight_decay(self.weight_decay)
-                .into(),
+            OptimizerKind::Sgd => {
+                Sgd::new(self.lr).with_momentum(0.9).with_weight_decay(self.weight_decay).into()
+            }
         }
     }
 }
@@ -165,12 +164,12 @@ pub fn evaluate(model: &SequenceModel, samples: &[Sample], ks: &[usize]) -> Eval
 /// # Panics
 ///
 /// Panics if `folds == 0` or `n < folds + 1`.
-pub fn time_series_folds(n: usize, folds: usize) -> Vec<(std::ops::Range<usize>, std::ops::Range<usize>)> {
+pub fn time_series_folds(
+    n: usize,
+    folds: usize,
+) -> Vec<(std::ops::Range<usize>, std::ops::Range<usize>)> {
     assert!(folds > 0, "need at least one fold");
-    assert!(
-        n >= folds + 1,
-        "cannot split {n} samples into {folds} time-series folds"
-    );
+    assert!(n > folds, "cannot split {n} samples into {folds} time-series folds");
     let chunk = n / (folds + 1);
     let mut out = Vec::with_capacity(folds);
     for i in 0..folds {
@@ -230,7 +229,7 @@ where
             score_sum += report.top_k.accuracy(k_eval);
         }
         let mean = score_sum / splits.len() as f64;
-        if best.as_ref().map_or(true, |(_, s)| mean > *s) {
+        if best.as_ref().is_none_or(|(_, s)| mean > *s) {
             best = Some((point.clone(), mean));
         }
     }
@@ -256,10 +255,7 @@ mod tests {
 
     fn toy_model(classes: usize) -> SequenceModel {
         let mut rng = StdRng::seed_from_u64(11);
-        SequenceModel::builder()
-            .lstm(classes, 16, &mut rng)
-            .linear(16, classes, &mut rng)
-            .build()
+        SequenceModel::builder().lstm(classes, 16, &mut rng).linear(16, classes, &mut rng).build()
     }
 
     #[test]

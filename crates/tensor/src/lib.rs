@@ -37,6 +37,6 @@ pub use flops::{flops_now, reset_flops, FlopGuard};
 pub use init::{xavier_uniform, Init};
 pub use matrix::Matrix;
 pub use ops::{
-    argmax, log_softmax_in_place, sigmoid, softmax, softmax_in_place,
-    softmax_temperature_in_place, top_k,
+    argmax, log_softmax_in_place, sigmoid, softmax, softmax_in_place, softmax_temperature_in_place,
+    top_k,
 };

@@ -418,10 +418,7 @@ mod tests {
     fn rank_one_update_matches_outer_product() {
         let mut m = Matrix::zeros(2, 3);
         m.rank_one_update(2.0, &[1.0, 3.0], &[4.0, 5.0, 6.0]);
-        assert_eq!(
-            m,
-            Matrix::from_rows(&[&[8.0, 10.0, 12.0], &[24.0, 30.0, 36.0]])
-        );
+        assert_eq!(m, Matrix::from_rows(&[&[8.0, 10.0, 12.0], &[24.0, 30.0, 36.0]]));
     }
 
     #[test]

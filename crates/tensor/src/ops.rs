@@ -109,7 +109,9 @@ pub fn argmax(x: &[f32]) -> Option<usize> {
 /// ```
 pub fn top_k(x: &[f32], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..x.len()).collect();
-    idx.sort_by(|&a, &b| x[b].partial_cmp(&x[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b)));
+    idx.sort_by(|&a, &b| {
+        x[b].partial_cmp(&x[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
     idx.truncate(k);
     idx
 }

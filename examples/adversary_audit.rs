@@ -9,10 +9,8 @@ use pelican_attacks::{Adversary, AttackMethod, PriorKind, TimeBased};
 use pelican_mobility::{Scale, SpatialLevel};
 
 fn main() {
-    let scenario = Scenario::builder(Scale::Tiny, SpatialLevel::Building)
-        .seed(13)
-        .personal_users(2)
-        .build();
+    let scenario =
+        Scenario::builder(Scale::Tiny, SpatialLevel::Building).seed(13).personal_users(2).build();
 
     let method = AttackMethod::TimeBased(TimeBased::default());
     println!("auditing {} personalized models\n", scenario.personal.len());
@@ -20,15 +18,8 @@ fn main() {
     for user in &scenario.personal {
         // The adversary (honest-but-curious provider) sees: the black-box
         // model, the prior, the previous session and the observed output.
-        let eval = scenario.attack_user(
-            user,
-            Adversary::A1,
-            &method,
-            PriorKind::True,
-            &[1, 3],
-            8,
-            None,
-        );
+        let eval =
+            scenario.attack_user(user, Adversary::A1, &method, PriorKind::True, &[1, 3], 8, None);
         println!(
             "user {:>2}: model top-3 accuracy {:>5.1}%  |  attack recovers {:>5.1}% of hidden \
              locations (top-3), {:.0} queries/instance",
@@ -43,8 +34,7 @@ fn main() {
         if let Some(inst) = instances.first() {
             let prior = scenario.prior(user, PriorKind::True);
             let probes = pelican_attacks::prior::random_probes(&scenario.dataset.space, 24, 5);
-            let interest =
-                pelican_attacks::interest_locations(&user.model, &probes, 0.01);
+            let interest = pelican_attacks::interest_locations(&user.model, &probes, 0.01);
             let mut model = user.model.clone();
             let (ranking, _) =
                 method.run(&mut model, &scenario.dataset.space, &prior, &interest, inst);

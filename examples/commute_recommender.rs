@@ -38,10 +38,8 @@ fn main() {
 
     // A week later the device has more history: re-invoke transfer
     // learning from the current parameters (step 4 of Fig. 4).
-    let full = Scenario::builder(Scale::Tiny, SpatialLevel::Building)
-        .seed(7)
-        .personal_users(1)
-        .build();
+    let full =
+        Scenario::builder(Scale::Tiny, SpatialLevel::Building).seed(7).personal_users(1).build();
     let fresh_samples = &full.personal[0].train;
     let personalizer = DevicePersonalizer::new(
         PersonalizationConfig {
@@ -63,8 +61,8 @@ fn main() {
         .redeploy(user.user_id, updated.clone(), Some(PrivacyLayer::default()))
         .expect("user enrolled above");
 
-    let acc_updated = pelican_nn::metrics::evaluate_top_k(&updated, &full.personal[0].test, &[3])
-        .accuracy(3);
+    let acc_updated =
+        pelican_nn::metrics::evaluate_top_k(&updated, &full.personal[0].test, &[3]).accuracy(3);
     println!("updated model: top-3 accuracy {:.1}%", acc_updated * 100.0);
 
     // Serve a recommendation and show the deployment latency difference.

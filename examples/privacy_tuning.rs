@@ -9,10 +9,8 @@ use pelican_attacks::{Adversary, AttackMethod, PriorKind, TimeBased};
 use pelican_mobility::{Scale, SpatialLevel};
 
 fn main() {
-    let scenario = Scenario::builder(Scale::Tiny, SpatialLevel::Building)
-        .seed(21)
-        .personal_users(2)
-        .build();
+    let scenario =
+        Scenario::builder(Scale::Tiny, SpatialLevel::Building).seed(21).personal_users(2).build();
     let method = AttackMethod::TimeBased(TimeBased::default());
 
     let baseline = scenario.attack_all(Adversary::A1, &method, PriorKind::True, &[3], 8, None);

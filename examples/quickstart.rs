@@ -13,10 +13,8 @@ use pelican_mobility::{Scale, SpatialLevel};
 fn main() {
     // 1 + 2: cloud training and device personalization, bundled by the
     // workbench. `Scale::Tiny` keeps this example fast; try `Small`.
-    let scenario = Scenario::builder(Scale::Tiny, SpatialLevel::Building)
-        .seed(42)
-        .personal_users(1)
-        .build();
+    let scenario =
+        Scenario::builder(Scale::Tiny, SpatialLevel::Building).seed(42).personal_users(1).build();
     let user = &scenario.personal[0];
 
     println!("general model : {}", scenario.general.describe());
@@ -48,9 +46,7 @@ fn main() {
 
     // Query: "given my last two sessions, where am I headed?"
     let query = &user.test[0].xs;
-    let top3 = service
-        .top_k(user.user_id, query, 3)
-        .expect("user is enrolled");
+    let top3 = service.top_k(user.user_id, query, 3).expect("user is enrolled");
     println!("prediction    : next locations (building ids) {top3:?}");
     println!(
         "ground truth  : building {} {}",

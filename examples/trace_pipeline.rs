@@ -13,11 +13,7 @@ fn main() {
     let mut generator = TraceGenerator::new(CampusConfig::for_scale(Scale::Small), 7);
     let campus = generator.campus().clone();
 
-    println!(
-        "campus: {} buildings, {} APs\n",
-        campus.buildings().len(),
-        campus.total_aps()
-    );
+    println!("campus: {} buildings, {} APs\n", campus.buildings().len(), campus.total_aps());
     println!("user  sessions  events  recall  top-share  entropy  regularity  mobility");
     println!("--------------------------------------------------------------------------");
     for user_id in 0..6 {

@@ -1,0 +1,9 @@
+//! Workspace umbrella package for the Pelican reproduction.
+//!
+//! This package exists to host the *workspace-level* targets — the
+//! cross-crate integration tests under `tests/` and the runnable
+//! walkthroughs under `examples/` — which exercise the full pipeline
+//! (cloud training → device personalization → privacy layer → inversion
+//! attacks) across every crate at once. The library itself is
+//! intentionally empty; depend on [`pelican`](../pelican) and friends
+//! directly instead.

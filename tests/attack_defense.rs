@@ -2,16 +2,13 @@
 //! models leak historical locations (§IV), and the Pelican privacy layer
 //! substantially reduces that leakage without hurting accuracy (§V).
 
-use pelican::workbench::Scenario;
 use pelican::reduction_in_leakage;
+use pelican::workbench::Scenario;
 use pelican_attacks::{Adversary, AttackMethod, PriorKind, TimeBased};
 use pelican_mobility::{Scale, SpatialLevel};
 
 fn scenario(seed: u64) -> Scenario {
-    Scenario::builder(Scale::Tiny, SpatialLevel::Building)
-        .seed(seed)
-        .personal_users(3)
-        .build()
+    Scenario::builder(Scale::Tiny, SpatialLevel::Building).seed(seed).personal_users(3).build()
 }
 
 #[test]
@@ -24,8 +21,7 @@ fn attack_beats_the_prior_baseline() {
     let mut prior_hits = 0usize;
     let mut total = 0usize;
     for user in &s.personal {
-        let eval =
-            s.attack_user(user, Adversary::A1, &method, PriorKind::True, &[3], 10, None);
+        let eval = s.attack_user(user, Adversary::A1, &method, PriorKind::True, &[3], 10, None);
         let prior = s.prior(user, PriorKind::True);
         let mut ranked: Vec<usize> = (0..prior.len()).collect();
         ranked.sort_by(|&a, &b| prior.prob(b).partial_cmp(&prior.prob(a)).unwrap());

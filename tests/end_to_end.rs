@@ -11,10 +11,7 @@ use pelican_nn::metrics::evaluate_top_k;
 use pelican_nn::{ModelEnvelope, TrainConfig};
 
 fn tiny(seed: u64) -> Scenario {
-    Scenario::builder(Scale::Tiny, SpatialLevel::Building)
-        .seed(seed)
-        .personal_users(3)
-        .build()
+    Scenario::builder(Scale::Tiny, SpatialLevel::Building).seed(seed).personal_users(3).build()
 }
 
 #[test]
@@ -99,10 +96,7 @@ fn service_end_to_end_with_privacy() {
     assert_eq!(hits_defended, hits_plain, "privacy layer must not change top-3 hits");
 
     // Errors surface cleanly.
-    assert!(matches!(
-        service.query(9999, &user.test[0].xs),
-        Err(ServiceError::UnknownUser(9999))
-    ));
+    assert!(matches!(service.query(9999, &user.test[0].xs), Err(ServiceError::UnknownUser(9999))));
 }
 
 #[test]
@@ -119,10 +113,8 @@ fn scenarios_reproduce_bit_for_bit() {
 
 #[test]
 fn ap_level_pipeline_works() {
-    let scenario = Scenario::builder(Scale::Tiny, SpatialLevel::Ap)
-        .seed(8)
-        .personal_users(1)
-        .build();
+    let scenario =
+        Scenario::builder(Scale::Tiny, SpatialLevel::Ap).seed(8).personal_users(1).build();
     let user = &scenario.personal[0];
     assert_eq!(scenario.dataset.n_locations(), 36, "tiny campus: 12 buildings x 3 APs");
     let acc = user.test_accuracy(3);

@@ -1,0 +1,183 @@
+//! Offline stand-in for [`criterion`](https://bheisler.github.io/criterion.rs/book/).
+//!
+//! Implements the API surface the Pelican benches use — [`Criterion`],
+//! [`BenchmarkGroup`] with `sample_size`, [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a simple
+//! wall-clock measurement loop instead of the real crate's statistical
+//! machinery. Each benchmark warms up briefly, then reports the mean,
+//! minimum and maximum per-iteration time over `sample_size` samples to
+//! stdout. Good enough to compare the paper's ~100× attack-cost gaps;
+//! swap in the real criterion (same manifest name) when a registry is
+//! reachable.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(300);
+const MEASURE_TARGET: Duration = Duration::from_millis(600);
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), 10, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup { _criterion: self, name, sample_size: 10 }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.sample_size, f);
+        self
+    }
+
+    /// Finishes the group (prints a trailing separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Passed to the benchmark closure; call [`iter`](Bencher::iter) with
+/// the routine to measure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back invocations of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    // Warm-up: also discovers how many iterations fit a sample window.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let warmup_start = Instant::now();
+    let mut warmup_iters = 0u64;
+    while warmup_start.elapsed() < WARMUP {
+        f(&mut b);
+        warmup_iters += b.iters;
+        // Grow the batch so fast routines don't spend the warm-up in
+        // closure-call overhead.
+        b.iters = (b.iters * 2).min(1 << 20);
+    }
+    let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+    let sample_budget = MEASURE_TARGET.as_secs_f64() / sample_size as f64;
+    let iters_per_sample = ((sample_budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        b.iters = iters_per_sample;
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{id:<40} mean {:>12}  min {:>12}  max {:>12}  ({} samples x {} iters)",
+        format_time(mean),
+        format_time(min),
+        format_time(max),
+        sample_size,
+        iters_per_sample,
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a named runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; a
+            // wall-clock stub has no filters, so arguments are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_every_iteration() {
+        let mut calls = 0u64;
+        let mut b = Bencher { iters: 37, elapsed: Duration::ZERO };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 37);
+    }
+
+    #[test]
+    fn format_time_picks_sane_units() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" us"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,348 @@
+//! Offline stand-in for [`proptest`](https://proptest-rs.github.io/).
+//!
+//! The build environment has no registry access, so this vendored crate
+//! re-implements the subset of proptest the Pelican test-suite uses:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` inner attribute;
+//! * range strategies over the numeric primitives, tuple strategies,
+//!   [`prop::collection::vec`], and the [`Strategy::prop_map`] /
+//!   [`Strategy::prop_flat_map`] combinators;
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from the real crate are deliberate and small: inputs are
+//! drawn from a fixed-seed deterministic RNG (identical values every
+//! run, so CI is reproducible), and failing cases panic immediately
+//! without shrinking — the printed input values are the minimal report.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::RngExt as _;
+
+    /// A recipe for generating test-case values.
+    ///
+    /// Mirrors proptest's `Strategy`: ranges, tuples and collections
+    /// implement it, and [`prop_map`](Strategy::prop_map) /
+    /// [`prop_flat_map`](Strategy::prop_flat_map) build derived
+    /// strategies.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transforms every generated value with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then draws from the strategy `f` builds
+        /// from it.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn new_value(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u8, u16, u32, u64, isize, i8, i16, i32, i64, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident / $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A / 0, B / 1);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+    /// The `Just` strategy: always yields a clone of its value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Strategy constructors grouped as the real crate's `prop` module.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use rand::rngs::StdRng;
+        use rand::RngExt as _;
+
+        use crate::strategy::Strategy;
+
+        /// Lengths accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+        pub trait SizeRange {
+            /// Draws a length.
+            fn sample_len(&self, rng: &mut StdRng) -> usize;
+        }
+
+        impl SizeRange for usize {
+            fn sample_len(&self, _rng: &mut StdRng) -> usize {
+                *self
+            }
+        }
+
+        impl SizeRange for core::ops::Range<usize> {
+            fn sample_len(&self, rng: &mut StdRng) -> usize {
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl SizeRange for core::ops::RangeInclusive<usize> {
+            fn sample_len(&self, rng: &mut StdRng) -> usize {
+                rng.random_range(self.clone())
+            }
+        }
+
+        /// A strategy producing `Vec`s whose elements come from
+        /// `element` and whose length comes from `len`.
+        pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+            VecStrategy { element, len }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S, L> {
+            element: S,
+            len: L,
+        }
+
+        impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+
+            fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let n = self.len.sample_len(rng);
+                (0..n).map(|_| self.element.new_value(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Runner configuration, mirroring proptest's `test_runner` module.
+pub mod test_runner {
+    /// How many random cases each property test runs.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        /// 32 cases: enough to exercise the properties every CI run
+        /// while keeping the training-heavy pipeline tests fast (the
+        /// real crate defaults to 256).
+        fn default() -> Self {
+            Self { cases: 32 }
+        }
+    }
+}
+
+/// Everything a test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Deterministic per-test seed: FNV-1a over the test's name, so each
+/// property explores a distinct but reproducible input stream.
+#[doc(hidden)]
+pub const fn fnv1a(name: &str) -> u64 {
+    let bytes = name.as_bytes();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        i += 1;
+    }
+    hash
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+
+    /// Seeds the runner RNG without importing `SeedableRng` into the
+    /// expansion scope (which would shadow the test file's own imports
+    /// into unused-import warnings).
+    pub fn seed_rng(seed: u64) -> StdRng {
+        use rand::SeedableRng as _;
+        StdRng::seed_from_u64(seed)
+    }
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///
+///     #[test]
+///     fn holds(x in 0usize..10, y in -1.0f32..1.0) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident ($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                let mut rng = $crate::__rt::seed_rng(seed);
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, y in -2.0f32..2.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(0u32..10, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn tuple_and_flat_map_compose(
+            pair in (1usize..4, 1usize..4).prop_flat_map(|(r, c)| {
+                prop::collection::vec(0.0f64..1.0, r * c).prop_map(move |data| (r, c, data))
+            }),
+        ) {
+            let (r, c, data) = pair;
+            prop_assert_eq!(data.len(), r * c);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_between_tests() {
+        assert_ne!(crate::fnv1a("a::first"), crate::fnv1a("a::second"));
+    }
+}

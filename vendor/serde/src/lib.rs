@@ -1,0 +1,31 @@
+//! Offline stand-in for [`serde`](https://serde.rs).
+//!
+//! Pelican's types derive `Serialize`/`Deserialize` to declare
+//! wire-readiness, but all in-tree persistence goes through the
+//! hand-rolled binary model envelope — no serializer ever runs. This
+//! stub keeps those derives compiling without network access: the
+//! traits are markers blanket-implemented for every type, and the
+//! derives (re-exported from the stub `serde_derive`) expand to
+//! nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`; blanket-implemented.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Stub of serde's `de` module, for `serde::de::DeserializeOwned` paths.
+pub mod de {
+    pub use super::DeserializeOwned;
+}

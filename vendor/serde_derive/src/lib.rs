@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and
+//! model types so they are wire-ready once the real serde is available,
+//! but nothing in-tree serializes through serde today (the model
+//! envelope codec is hand-rolled). These derive macros therefore accept
+//! the full attribute syntax — including `#[serde(...)]` field
+//! attributes — and expand to nothing; the stub `serde` crate's blanket
+//! impls satisfy any bounds.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
