@@ -1,0 +1,53 @@
+//! Criterion bench behind the fleet-serving subsystem: fused batched
+//! inference vs. one-query-at-a-time serving for the same model.
+//!
+//! The batched path answers B same-model queries with two matrix–matrix
+//! products per timestep (weights stream through memory once per batch)
+//! instead of 2·B matrix–vector products, and skips the per-step
+//! activation-cache allocations of the scalar path — while returning
+//! bit-identical probabilities. The gap should open from batch ≈ 8 and
+//! widen with batch size and hidden width.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pelican::workbench::{Scenario, ScenarioSizing};
+use pelican_mobility::{Scale, SpatialLevel};
+use pelican_nn::Sequence;
+
+fn bench_fleet_serving(c: &mut Criterion) {
+    // A wider LSTM than the Tiny default so the weight matrices outgrow
+    // L1 and the batch path's cache reuse is visible.
+    let scenario = Scenario::builder(Scale::Tiny, SpatialLevel::Building)
+        .seed(42)
+        .personal_users(1)
+        .sizing(ScenarioSizing { hidden_dim: 64, general_epochs: 2, personal_epochs: 2 })
+        .build();
+    let user = &scenario.personal[0];
+    let model = user.model.clone();
+    let queries: Vec<Sequence> =
+        (0..32).map(|i| user.test[i % user.test.len()].xs.clone()).collect();
+
+    // The whole point: fused batches must not change a single bit.
+    for (q, fused) in queries.iter().zip(model.predict_proba_batch(&queries)) {
+        assert_eq!(model.predict_proba(q), fused, "batched serving must be bit-identical");
+    }
+
+    let mut group = c.benchmark_group("fleet_serving");
+    for batch in [1usize, 8, 32] {
+        let slice = &queries[..batch];
+        group.bench_function(format!("unbatched/b{batch}"), |b| {
+            b.iter(|| {
+                for q in slice {
+                    std::hint::black_box(model.predict_proba(std::hint::black_box(q)));
+                }
+            })
+        });
+        group.bench_function(format!("batched/b{batch}"), |b| {
+            b.iter(|| std::hint::black_box(model.predict_proba_batch(std::hint::black_box(slice))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_serving);
+criterion_main!(benches);

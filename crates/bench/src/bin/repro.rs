@@ -10,7 +10,7 @@
 use std::process::ExitCode;
 
 use pelican_bench::experiments::{
-    ablation, adversaries, attack_methods, defense, personalization, spatial,
+    ablation, adversaries, attack_methods, defense, personalization, serving, spatial,
 };
 use pelican_bench::{parse_args, RunConfig};
 
@@ -30,6 +30,7 @@ experiments:
   fig5a     defense: leakage reduction by personalization method
   fig5b     defense: leakage reduction vs privacy temperature
   fig5c     defense: leakage reduction by spatial level
+  serve-report      fleet serving: throughput, batching, cache and latency per tier
   ablate-defenses   compare temperature vs output-noise vs rounding defenses
   ablate-interest   locations-of-interest threshold sweep
   ablate-gd         gradient-descent attack hyperparameter sweep
@@ -132,6 +133,13 @@ fn run_experiment(name: &str, config: &RunConfig) -> bool {
         "fig5c" => {
             banner("Fig. 5c — leakage reduction by spatial level (%)", config);
             println!("{}", defense::fig5c(config).render());
+        }
+        "serve-report" => {
+            banner("Fleet serving — batched registry throughput & latency", config);
+            let outcomes = serving::run(config);
+            println!("{}", serving::table(&outcomes).render());
+            println!("batch-size histogram (identical across tiers):");
+            println!("{}", serving::histogram_table(&outcomes).render());
         }
         "ablate-defenses" => {
             banner("Ablation — defense comparison (Table V alternatives)", config);

@@ -8,12 +8,14 @@
 //! | [`personalization`] | Table III, Table IV, §V-C2 overhead |
 //! | [`defense`] | Fig. 5a, Fig. 5b, Fig. 5c |
 //! | [`ablation`] | defense comparison, interest threshold, GD config, freeze depth |
+//! | [`serving`] | fleet-serving throughput/latency (beyond the paper; ROADMAP north star) |
 
 pub mod ablation;
 pub mod adversaries;
 pub mod attack_methods;
 pub mod defense;
 pub mod personalization;
+pub mod serving;
 pub mod spatial;
 
 use pelican::workbench::Scenario;

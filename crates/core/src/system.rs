@@ -229,6 +229,11 @@ impl PelicanService {
     /// Queries a user's model: returns the confidence vector plus the
     /// simulated round-trip time (zero for on-device deployments).
     ///
+    /// Routed through the batched inference path with a batch of one — the
+    /// same kernels `pelican-serve` fuses fleet traffic through — so a
+    /// query answered alone is bit-identical to the same query answered
+    /// inside a coalesced batch. The query slice is borrowed, never cloned.
+    ///
     /// # Errors
     ///
     /// [`ServiceError::UnknownUser`] if the user is not enrolled;
@@ -244,7 +249,11 @@ impl PelicanService {
             let got = xs.first().map_or(0, |s| s.len());
             return Err(ServiceError::DimensionMismatch { expected, got });
         }
-        let probs = enrollment.model.predict_proba(&xs.to_vec());
+        let probs = enrollment
+            .model
+            .predict_proba_batch(std::slice::from_ref(&xs))
+            .pop()
+            .expect("a batch of one yields one answer");
         let rtt = match enrollment.deployment {
             Deployment::OnDevice => Duration::ZERO,
             Deployment::Cloud => {
@@ -281,7 +290,11 @@ impl PelicanService {
                 let got = xs.first().map_or(0, |s| s.len());
                 return Err(ServiceError::DimensionMismatch { expected, got });
             }
-            return Ok(enrollment.model.predict_top_k(&xs.to_vec(), k));
+            return Ok(enrollment
+                .model
+                .predict_top_k_batch(std::slice::from_ref(&xs), k)
+                .pop()
+                .expect("a batch of one yields one ranking"));
         }
         let (probs, _) = self.query(user_id, xs)?;
         Ok(pelican_tensor::top_k(&probs, k))
@@ -405,6 +418,31 @@ mod tests {
         let (probs, _) = service.query(1, &vec![vec![0.3; 6]; 2]).unwrap();
         let max = probs.iter().cloned().fold(0.0f32, f32::max);
         assert!(max > 0.999, "enrolled model serves sharpened confidences");
+    }
+
+    #[test]
+    fn tied_confidences_rank_by_index_deterministically() {
+        // Coarse rounding collapses most confidences to equal values, the
+        // worst case for top-k stability. Ties must order by class index so
+        // re-runs (and the batched serving path) agree exactly.
+        let (general, _, _) = trained_general();
+        let mut service = PelicanService::new(general.clone(), NetworkLink::wifi());
+        let mut model = general.clone();
+        model.set_postprocess(pelican_nn::Postprocess::Round { decimals: 0 });
+        service.enroll(1, model, Deployment::OnDevice, None);
+        let xs = vec![vec![0.2; 6]; 2];
+        let first = service.top_k(1, &xs, 4).unwrap();
+        let second = service.top_k(1, &xs, 4).unwrap();
+        assert_eq!(first, second, "re-running a tied ranking must not reorder it");
+        // With a perturbation defense deployed the service ranks from the
+        // postprocessed confidences; the ranking must be exactly the
+        // index-tie-broken top-k of those scores.
+        let (probs, _) = service.query(1, &xs).unwrap();
+        assert_eq!(first, pelican_tensor::top_k(&probs, 4));
+        assert!(
+            probs.iter().filter(|&&p| p == probs[first[1]]).count() > 1,
+            "coarse rounding should actually produce ties, got {probs:?}"
+        );
     }
 
     #[test]

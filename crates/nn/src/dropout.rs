@@ -4,7 +4,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::Sequence;
+use crate::{Sequence, Step};
 
 /// Inverted dropout: active during training, identity at inference.
 ///
@@ -44,8 +44,13 @@ impl Dropout {
     }
 
     /// Inference-mode forward pass: the identity.
-    pub fn infer(&self, xs: &Sequence) -> Sequence {
-        xs.clone()
+    pub fn infer(&self, xs: &[Step]) -> Sequence {
+        xs.to_vec()
+    }
+
+    /// Batched inference-mode forward pass: the identity on every sequence.
+    pub fn infer_batch<S: AsRef<[Step]>>(&self, xs: &[S]) -> Vec<Sequence> {
+        xs.iter().map(|s| s.as_ref().to_vec()).collect()
     }
 
     /// Training-mode forward pass; samples and caches a mask per timestep.

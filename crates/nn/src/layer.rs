@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Dropout, Linear, Lstm, Sequence};
+use crate::{Dropout, Linear, Lstm, Sequence, Step};
 
 /// One layer of a [`crate::SequenceModel`].
 ///
@@ -23,11 +23,22 @@ pub enum Layer {
 
 impl Layer {
     /// Inference-mode forward pass.
-    pub fn infer(&self, xs: &Sequence) -> Sequence {
+    pub fn infer(&self, xs: &[Step]) -> Sequence {
         match self {
             Layer::Lstm(l) => l.infer(xs),
             Layer::Linear(l) => l.infer(xs),
             Layer::Dropout(d) => d.infer(xs),
+        }
+    }
+
+    /// Batched inference over independent sequences sharing this layer's
+    /// parameters; see [`Lstm::infer_batch`]. Outputs are bit-identical to
+    /// calling [`Layer::infer`] on each sequence alone.
+    pub fn infer_batch<S: AsRef<[Step]>>(&self, xs: &[S]) -> Vec<Sequence> {
+        match self {
+            Layer::Lstm(l) => l.infer_batch(xs),
+            Layer::Linear(l) => l.infer_batch(xs),
+            Layer::Dropout(d) => d.infer_batch(xs),
         }
     }
 

@@ -80,8 +80,41 @@ impl Linear {
     }
 
     /// Inference-mode forward pass (no caches are written).
-    pub fn infer(&self, xs: &Sequence) -> Sequence {
+    pub fn infer(&self, xs: &[Step]) -> Sequence {
         xs.iter().map(|x| self.apply(x)).collect()
+    }
+
+    /// Batched inference: every timestep of every sequence is packed into
+    /// one matrix and multiplied against the weights in a single pass, so
+    /// the weight matrix streams through memory once per batch instead of
+    /// once per timestep. Bit-identical to per-sequence [`Linear::infer`],
+    /// with the same recorded FLOP count.
+    pub fn infer_batch<S: AsRef<[Step]>>(&self, xs: &[S]) -> Vec<Sequence> {
+        let total_steps: usize = xs.iter().map(|s| s.as_ref().len()).sum();
+        let mut packed = Matrix::zeros(total_steps, self.input_dim());
+        let mut r = 0;
+        for seq in xs {
+            for step in seq.as_ref() {
+                packed.row_mut(r).copy_from_slice(step);
+                r += 1;
+            }
+        }
+        let ys = packed.matmul_transpose(&self.w);
+        let mut out = Vec::with_capacity(xs.len());
+        let mut r = 0;
+        for seq in xs {
+            let mut rows = Vec::with_capacity(seq.as_ref().len());
+            for _ in seq.as_ref() {
+                let mut y = ys.row(r).to_vec();
+                for (yv, &bv) in y.iter_mut().zip(&self.b) {
+                    *yv += bv;
+                }
+                rows.push(y);
+                r += 1;
+            }
+            out.push(rows);
+        }
+        out
     }
 
     /// Training-mode forward pass; caches inputs for [`Linear::backward`].
@@ -208,5 +241,19 @@ mod tests {
     #[test]
     fn param_count_is_w_plus_b() {
         assert_eq!(layer().param_count(), 3 * 2 + 2);
+    }
+
+    #[test]
+    fn batched_inference_matches_sequential_exactly() {
+        let l = layer();
+        let seqs: Vec<Sequence> = vec![
+            vec![vec![0.4, -0.2, 0.7]],
+            vec![vec![1.0, 0.5, -1.5], vec![0.0, 0.25, 0.125]],
+            vec![vec![-0.3, 0.9, 0.1], vec![0.2, 0.2, 0.2], vec![0.6, -0.6, 0.0]],
+        ];
+        let batched = l.infer_batch(&seqs);
+        for (seq, got) in seqs.iter().zip(&batched) {
+            assert_eq!(&l.infer(seq), got);
+        }
     }
 }

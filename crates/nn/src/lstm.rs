@@ -167,7 +167,7 @@ impl Lstm {
 
     /// Inference-mode forward pass over a sequence; returns hidden states
     /// for every timestep. No caches are written.
-    pub fn infer(&self, xs: &Sequence) -> Sequence {
+    pub fn infer(&self, xs: &[Step]) -> Sequence {
         let mut h = vec![0.0; self.hidden];
         let mut c = vec![0.0; self.hidden];
         let mut out = Vec::with_capacity(xs.len());
@@ -176,6 +176,66 @@ impl Lstm {
             h = h_new;
             c = c_new;
             out.push(h.clone());
+        }
+        out
+    }
+
+    /// Batched inference over `B` sequences through the *same* parameters.
+    ///
+    /// Where [`Lstm::infer`] performs two matrix–vector products per
+    /// timestep per sequence, this fuses the gate pre-activations of all
+    /// sequences that are still active at timestep `t` into two
+    /// matrix–matrix products (`X_t · W_ihᵀ` and `H_{t-1} · W_hhᵀ`), so the
+    /// weight matrices stream through memory once per timestep instead of
+    /// once per query. Per-element accumulation order is unchanged, so the
+    /// returned hidden states are bit-identical to running [`Lstm::infer`]
+    /// on each sequence alone, and the FLOP count recorded for platform
+    /// cost simulation is exactly the sum of the unbatched counts.
+    ///
+    /// Sequences may have different lengths (shorter ones simply drop out
+    /// of the active set). Returns one hidden-state sequence per input.
+    pub fn infer_batch<S: AsRef<[Step]>>(&self, xs: &[S]) -> Vec<Sequence> {
+        let b = xs.len();
+        let h = self.hidden;
+        let input_dim = self.input_dim();
+        let max_t = xs.iter().map(|s| s.as_ref().len()).max().unwrap_or(0);
+        let mut hs = Matrix::zeros(b, h);
+        let mut cs = Matrix::zeros(b, h);
+        let mut out: Vec<Sequence> =
+            xs.iter().map(|s| Vec::with_capacity(s.as_ref().len())).collect();
+        for t in 0..max_t {
+            let active: Vec<usize> = (0..b).filter(|&i| t < xs[i].as_ref().len()).collect();
+            let rows = active.len();
+            let mut x_t = Matrix::zeros(rows, input_dim);
+            let mut h_prev = Matrix::zeros(rows, h);
+            for (r, &i) in active.iter().enumerate() {
+                x_t.row_mut(r).copy_from_slice(&xs[i].as_ref()[t]);
+                h_prev.row_mut(r).copy_from_slice(hs.row(i));
+            }
+            let mut z = x_t.matmul_transpose(&self.w_ih);
+            let zh = h_prev.matmul_transpose(&self.w_hh);
+            for r in 0..rows {
+                let z_row = z.row_mut(r);
+                for ((zv, &hv), &bv) in z_row.iter_mut().zip(zh.row(r)).zip(&self.b) {
+                    *zv += hv + bv;
+                }
+            }
+            for (r, &i) in active.iter().enumerate() {
+                let z_row = z.row(r);
+                let c_row = cs.row_mut(i);
+                let mut h_new = vec![0.0; h];
+                for k in 0..h {
+                    let ig = sigmoid(z_row[k]);
+                    let fg = sigmoid(z_row[h + k]);
+                    let gg = z_row[2 * h + k].tanh();
+                    let og = sigmoid(z_row[3 * h + k]);
+                    let c = fg * c_row[k] + ig * gg;
+                    c_row[k] = c;
+                    h_new[k] = og * c.tanh();
+                }
+                hs.row_mut(i).copy_from_slice(&h_new);
+                out[i].push(h_new);
+            }
         }
         out
     }
@@ -404,6 +464,28 @@ mod tests {
         let l = lstm(2, 4);
         assert!(l.b[4..8].iter().all(|&v| v == 1.0));
         assert!(l.b[0..4].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn batched_inference_is_bit_identical_to_sequential() {
+        let l = lstm(4, 6);
+        // Ragged lengths exercise the active-set handling.
+        let seqs: Vec<Sequence> = (0..5)
+            .map(|i| {
+                (0..=i).map(|t| (0..4).map(|j| ((i + t * 3 + j) as f32).sin()).collect()).collect()
+            })
+            .collect();
+        let batched = l.infer_batch(&seqs);
+        for (seq, batch_out) in seqs.iter().zip(&batched) {
+            assert_eq!(&l.infer(seq), batch_out, "batched hidden states must match exactly");
+        }
+    }
+
+    #[test]
+    fn empty_batch_yields_no_outputs() {
+        let l = lstm(3, 4);
+        let none: Vec<Sequence> = Vec::new();
+        assert!(l.infer_batch(&none).is_empty());
     }
 
     #[test]

@@ -86,7 +86,7 @@ fn renormalize(probs: &mut [f32]) {
     }
 }
 
-fn hash_query(xs: &Sequence) -> u64 {
+fn hash_query(xs: &[Step]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for step in xs {
         for &v in step {
@@ -246,7 +246,7 @@ impl SequenceModel {
 
     /// Inference-mode forward pass returning raw logits for the final
     /// timestep. No dropout, no caches, no temperature.
-    pub fn logits(&self, xs: &Sequence) -> Step {
+    pub fn logits(&self, xs: &[Step]) -> Step {
         assert!(!xs.is_empty(), "cannot run a model on an empty sequence");
         let mut cur = self.layers[0].infer(xs);
         for layer in &self.layers[1..] {
@@ -255,14 +255,50 @@ impl SequenceModel {
         cur.pop().expect("sequence length preserved by all layers")
     }
 
+    /// Batched [`SequenceModel::logits`]: one final-timestep logit vector
+    /// per input sequence, computed through the fused batch path of every
+    /// layer (see [`Lstm::infer_batch`]). Bit-identical to the unbatched
+    /// method per row, with identical recorded FLOPs.
+    pub fn logits_batch<S: AsRef<[Step]>>(&self, xs: &[S]) -> Vec<Step> {
+        assert!(
+            xs.iter().all(|s| !s.as_ref().is_empty()),
+            "cannot run a model on an empty sequence"
+        );
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let mut cur = self.layers[0].infer_batch(xs);
+        for layer in &self.layers[1..] {
+            cur = layer.infer_batch(&cur);
+        }
+        cur.into_iter()
+            .map(|mut seq| seq.pop().expect("sequence length preserved by all layers"))
+            .collect()
+    }
+
     /// Confidence scores for the final timestep: temperature-scaled softmax
     /// over [`SequenceModel::logits`]. This is the black-box interface the
     /// service provider (and therefore the adversary) sees.
-    pub fn predict_proba(&self, xs: &Sequence) -> Step {
+    pub fn predict_proba(&self, xs: &[Step]) -> Step {
         let mut logits = self.logits(xs);
         softmax_temperature_in_place(&mut logits, self.temperature);
         self.postprocess.apply(&mut logits, hash_query(xs));
         logits
+    }
+
+    /// Batched [`SequenceModel::predict_proba`].
+    ///
+    /// The privacy layer (temperature scaling) and any confidence
+    /// post-processing apply *per row* — each row is hashed and
+    /// post-processed exactly as its unbatched query would be — so batched
+    /// and unbatched answers are bit-identical.
+    pub fn predict_proba_batch<S: AsRef<[Step]>>(&self, xs: &[S]) -> Vec<Step> {
+        let mut rows = self.logits_batch(xs);
+        for (row, seq) in rows.iter_mut().zip(xs) {
+            softmax_temperature_in_place(row, self.temperature);
+            self.postprocess.apply(row, hash_query(seq.as_ref()));
+        }
+        rows
     }
 
     /// The configured confidence post-processing.
@@ -276,9 +312,17 @@ impl SequenceModel {
         self.postprocess = postprocess;
     }
 
-    /// Indices of the `k` most confident classes, descending.
-    pub fn predict_top_k(&self, xs: &Sequence, k: usize) -> Vec<usize> {
+    /// Indices of the `k` most confident classes, descending. Ties order
+    /// by class index, so results are stable across re-runs and identical
+    /// between the batched and unbatched paths.
+    pub fn predict_top_k(&self, xs: &[Step], k: usize) -> Vec<usize> {
         pelican_tensor::top_k(&self.logits(xs), k)
+    }
+
+    /// Batched [`SequenceModel::predict_top_k`]: one ranking per input
+    /// sequence, computed from batched logits.
+    pub fn predict_top_k_batch<S: AsRef<[Step]>>(&self, xs: &[S], k: usize) -> Vec<Vec<usize>> {
+        self.logits_batch(xs).iter().map(|row| pelican_tensor::top_k(row, k)).collect()
     }
 
     /// Training-mode forward pass (dropout active, caches written).

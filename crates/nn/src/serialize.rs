@@ -11,14 +11,21 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use pelican_tensor::Matrix;
 
-use crate::{Dropout, Layer, Linear, Lstm, SequenceModel};
+use crate::{Dropout, Layer, Linear, Lstm, Postprocess, SequenceModel};
 
 const MAGIC: &[u8; 4] = b"PLCN";
-const VERSION: u16 = 1;
+/// Version 2 added the confidence post-processing field: a deployed
+/// defense (noise, rounding) is part of the model's black-box behaviour,
+/// so a registry serving decoded envelopes must reproduce it exactly.
+const VERSION: u16 = 2;
 
 const TAG_LSTM: u8 = 0;
 const TAG_LINEAR: u8 = 1;
 const TAG_DROPOUT: u8 = 2;
+
+const POST_NONE: u8 = 0;
+const POST_GAUSSIAN: u8 = 1;
+const POST_ROUND: u8 = 2;
 
 /// Errors produced when decoding a serialized model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +38,8 @@ pub enum ModelCodecError {
     Truncated,
     /// An unknown layer tag was encountered.
     UnknownLayerTag(u8),
+    /// An unknown confidence post-processing tag was encountered.
+    UnknownPostprocessTag(u8),
     /// A decoded dimension or count was implausible (e.g. zero).
     InvalidDimension,
 }
@@ -44,6 +53,9 @@ impl std::fmt::Display for ModelCodecError {
             }
             ModelCodecError::Truncated => write!(f, "model envelope ended unexpectedly"),
             ModelCodecError::UnknownLayerTag(t) => write!(f, "unknown layer tag {t}"),
+            ModelCodecError::UnknownPostprocessTag(t) => {
+                write!(f, "unknown post-processing tag {t}")
+            }
             ModelCodecError::InvalidDimension => write!(f, "invalid dimension in model envelope"),
         }
     }
@@ -64,6 +76,18 @@ impl ModelEnvelope {
         buf.put_slice(MAGIC);
         buf.put_u16_le(VERSION);
         buf.put_f32_le(model.temperature());
+        match model.postprocess() {
+            Postprocess::None => buf.put_u8(POST_NONE),
+            Postprocess::GaussianNoise { sigma, seed } => {
+                buf.put_u8(POST_GAUSSIAN);
+                buf.put_f32_le(sigma);
+                buf.put_u64_le(seed);
+            }
+            Postprocess::Round { decimals } => {
+                buf.put_u8(POST_ROUND);
+                buf.put_u32_le(decimals);
+            }
+        }
         buf.put_u32_le(model.layers().len() as u32);
         for layer in model.layers() {
             match layer {
@@ -118,6 +142,21 @@ impl ModelEnvelope {
             return Err(ModelCodecError::UnsupportedVersion(version));
         }
         let temperature = get_f32(&mut buf)?;
+        if buf.remaining() < 1 {
+            return Err(ModelCodecError::Truncated);
+        }
+        let postprocess = match buf.get_u8() {
+            POST_NONE => Postprocess::None,
+            POST_GAUSSIAN => {
+                let sigma = get_f32(&mut buf)?;
+                if buf.remaining() < 8 {
+                    return Err(ModelCodecError::Truncated);
+                }
+                Postprocess::GaussianNoise { sigma, seed: buf.get_u64_le() }
+            }
+            POST_ROUND => Postprocess::Round { decimals: get_u32(&mut buf)? },
+            other => return Err(ModelCodecError::UnknownPostprocessTag(other)),
+        };
         let n_layers = get_u32(&mut buf)? as usize;
         if n_layers == 0 {
             return Err(ModelCodecError::InvalidDimension);
@@ -167,6 +206,7 @@ impl ModelEnvelope {
         }
         let mut model = SequenceModel::from_layers(layers);
         model.set_temperature(temperature);
+        model.set_postprocess(postprocess);
         Ok(model)
     }
 
@@ -252,6 +292,23 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_preserves_postprocess_defenses() {
+        // A deployed defense is part of the served behaviour; cold storage
+        // (the serving registry's envelope path) must not strip it.
+        for post in [
+            Postprocess::GaussianNoise { sigma: 0.02, seed: 77 },
+            Postprocess::Round { decimals: 1 },
+        ] {
+            let mut m = model();
+            m.set_postprocess(post);
+            let decoded = ModelEnvelope::encode(&m).decode().expect("round trip");
+            assert_eq!(decoded.postprocess(), post);
+            let xs = vec![vec![0.4; 5], vec![0.1; 5]];
+            assert_eq!(m.predict_proba(&xs), decoded.predict_proba(&xs));
+        }
+    }
+
+    #[test]
     fn rejects_garbage() {
         let env = ModelEnvelope::from_bytes(vec![1, 2, 3, 4, 5, 6, 7, 8]);
         assert!(matches!(env.decode(), Err(ModelCodecError::BadMagic)));
@@ -290,6 +347,7 @@ mod tests {
             ModelCodecError::UnsupportedVersion(9),
             ModelCodecError::Truncated,
             ModelCodecError::UnknownLayerTag(7),
+            ModelCodecError::UnknownPostprocessTag(3),
             ModelCodecError::InvalidDimension,
         ] {
             assert!(!e.to_string().is_empty());

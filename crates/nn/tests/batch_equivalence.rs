@@ -1,0 +1,116 @@
+//! Batched vs. sequential inference equivalence.
+//!
+//! The fleet-serving subsystem coalesces same-model queries into fused
+//! batches; every answer it returns must be *bit-identical* to the answer
+//! the same query would get alone. These tests pin that contract — exact
+//! `f32` equality, no tolerance — across batch sizes 1, 3 and 17, for raw
+//! logits, temperature-sharpened confidences (the privacy layer), every
+//! confidence post-processing mode, and top-k rankings.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pelican_nn::{Postprocess, Sequence, SequenceModel};
+use pelican_tensor::FlopGuard;
+
+const INPUT_DIM: usize = 6;
+
+fn model() -> SequenceModel {
+    let mut rng = StdRng::seed_from_u64(33);
+    SequenceModel::general_lstm(INPUT_DIM, 10, 5, 0.1, &mut rng)
+}
+
+/// Deterministic query pool with varied values and ragged lengths (1–4
+/// timesteps) so the batch path's active-set handling is exercised.
+fn queries(n: usize) -> Vec<Sequence> {
+    (0..n)
+        .map(|i| {
+            let len = 1 + i % 4;
+            (0..len)
+                .map(|t| {
+                    (0..INPUT_DIM).map(|j| ((i * 31 + t * 7 + j * 3) as f32 * 0.37).sin()).collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn batched_probabilities_are_bit_identical() {
+    let m = model();
+    let qs = queries(17);
+    for b in [1usize, 3, 17] {
+        let batch = &qs[..b];
+        let fused = m.predict_proba_batch(batch);
+        assert_eq!(fused.len(), b);
+        for (q, got) in batch.iter().zip(&fused) {
+            assert_eq!(&m.predict_proba(q), got, "batch size {b} diverged from sequential");
+        }
+    }
+}
+
+#[test]
+fn privacy_sharpened_batches_stay_bit_identical() {
+    let mut m = model();
+    m.set_temperature(1e-3);
+    let qs = queries(17);
+    for b in [1usize, 3, 17] {
+        let batch = &qs[..b];
+        for (q, got) in batch.iter().zip(m.predict_proba_batch(batch)) {
+            assert_eq!(m.predict_proba(q), got, "sharpening must apply per row (batch {b})");
+        }
+    }
+}
+
+#[test]
+fn postprocessing_applies_per_row() {
+    // Noise is seeded by a per-query hash; a batch must hash each row
+    // individually or batched answers would drift from unbatched ones.
+    for post in
+        [Postprocess::GaussianNoise { sigma: 0.05, seed: 9 }, Postprocess::Round { decimals: 2 }]
+    {
+        let mut m = model();
+        m.set_postprocess(post);
+        let qs = queries(17);
+        for b in [1usize, 3, 17] {
+            let batch = &qs[..b];
+            for (q, got) in batch.iter().zip(m.predict_proba_batch(batch)) {
+                assert_eq!(m.predict_proba(q), got, "{post:?} diverged at batch {b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_rankings_match_sequential() {
+    let m = model();
+    let qs = queries(17);
+    for b in [1usize, 3, 17] {
+        let batch = &qs[..b];
+        let fused = m.predict_top_k_batch(batch, 3);
+        for (q, got) in batch.iter().zip(&fused) {
+            assert_eq!(&m.predict_top_k(q, 3), got);
+        }
+    }
+}
+
+#[test]
+fn batched_flop_accounting_matches_sequential() {
+    // Platform cost simulation depends on FLOP counts; fusing a batch must
+    // report exactly the work the individual queries would have reported.
+    let m = model();
+    let qs = queries(17);
+    let sequential = {
+        let guard = FlopGuard::start();
+        for q in &qs {
+            let _ = m.predict_proba(q);
+        }
+        guard.stop()
+    };
+    let batched = {
+        let guard = FlopGuard::start();
+        let _ = m.predict_proba_batch(&qs);
+        guard.stop()
+    };
+    assert_eq!(sequential, batched, "fused batches must account identical FLOPs");
+}

@@ -1,0 +1,98 @@
+//! Property test: the binary model envelope is a lossless wire format.
+//!
+//! The serving registry keeps cold models as envelope bytes and decodes
+//! them on a cache miss, so a single flipped mantissa bit would silently
+//! change what a user's model answers after eviction. Round-tripping must
+//! therefore preserve every parameter *bit-exactly* — not approximately —
+//! for arbitrary small architectures, temperatures and freeze patterns.
+
+use proptest::prelude::*;
+
+use pelican_nn::{Layer, ModelEnvelope, Postprocess, SequenceModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn assert_bits_eq(label: &str, a: &[f32], b: &[f32]) -> Result<(), String> {
+    if a.len() != b.len() {
+        return Err(format!("{label}: length {} vs {}", a.len(), b.len()));
+    }
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if x.to_bits() != y.to_bits() {
+            return Err(format!("{label}[{i}]: {x:?} vs {y:?} differ in bits"));
+        }
+    }
+    Ok(())
+}
+
+fn layers_bit_equal(original: &SequenceModel, decoded: &SequenceModel) -> Result<(), String> {
+    if original.layers().len() != decoded.layers().len() {
+        return Err("layer count changed".into());
+    }
+    for (i, (a, b)) in original.layers().iter().zip(decoded.layers()).enumerate() {
+        match (a, b) {
+            (Layer::Lstm(a), Layer::Lstm(b)) => {
+                assert_bits_eq("w_ih", a.weight_ih().as_slice(), b.weight_ih().as_slice())?;
+                assert_bits_eq("w_hh", a.weight_hh().as_slice(), b.weight_hh().as_slice())?;
+                assert_bits_eq("lstm bias", a.bias(), b.bias())?;
+                if a.trainable != b.trainable {
+                    return Err(format!("layer {i}: trainable flag changed"));
+                }
+            }
+            (Layer::Linear(a), Layer::Linear(b)) => {
+                assert_bits_eq("w", a.weight().as_slice(), b.weight().as_slice())?;
+                assert_bits_eq("linear bias", a.bias(), b.bias())?;
+                if a.trainable != b.trainable {
+                    return Err(format!("layer {i}: trainable flag changed"));
+                }
+            }
+            (Layer::Dropout(a), Layer::Dropout(b)) => {
+                if a.rate().to_bits() != b.rate().to_bits() {
+                    return Err(format!("layer {i}: dropout rate changed"));
+                }
+            }
+            _ => return Err(format!("layer {i}: kind changed")),
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn envelope_round_trip_is_bit_exact(
+        input_dim in 1usize..6,
+        hidden in 1usize..7,
+        classes in 2usize..6,
+        deep in 0usize..2,
+        seed in 0u64..10_000,
+        temp_millis in 1u32..=1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut builder = SequenceModel::builder().lstm(input_dim, hidden, &mut rng);
+        if deep == 1 {
+            builder = builder.dropout(0.25, seed).lstm(hidden, hidden, &mut rng);
+        }
+        let mut model = builder.linear(hidden, classes, &mut rng).build();
+        model.set_temperature(temp_millis as f32 / 1000.0);
+        if seed % 2 == 0 {
+            model.layers_mut()[0].set_trainable(false);
+        }
+        model.set_postprocess(match seed % 3 {
+            0 => Postprocess::None,
+            1 => Postprocess::GaussianNoise { sigma: temp_millis as f32 / 10_000.0, seed },
+            _ => Postprocess::Round { decimals: (seed % 6) as u32 },
+        });
+
+        let decoded = ModelEnvelope::encode(&model).decode().expect("round trip decodes");
+        prop_assert_eq!(model.temperature().to_bits(), decoded.temperature().to_bits());
+        prop_assert_eq!(model.postprocess(), decoded.postprocess());
+        if let Err(msg) = layers_bit_equal(&model, &decoded) {
+            prop_assert!(false, "{}", msg);
+        }
+
+        // Bit-exact parameters imply bit-exact behaviour; spot-check it.
+        let xs = vec![vec![0.31f32; input_dim]; 2];
+        prop_assert_eq!(model.predict_proba(&xs), decoded.predict_proba(&xs));
+    }
+}

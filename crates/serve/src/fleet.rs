@@ -1,0 +1,128 @@
+//! End-to-end fleet harness: enroll a scenario, synthesize traffic,
+//! coalesce, execute, report.
+//!
+//! This is the piece the `fleet_serve` example, the `serve-report`
+//! experiment and the serving benchmarks all drive: one deterministic
+//! function from (scenario, knobs) to a [`ServeReport`].
+
+use pelican::platform::ComputeTier;
+use pelican::workbench::Scenario;
+use pelican::PrivacyLayer;
+use pelican_nn::{ModelCodecError, Sequence};
+
+use crate::metrics::{MetricsSink, ServeReport};
+use crate::registry::{RegistryConfig, RegistryStats, ShardedRegistry};
+use crate::scheduler::{BatchScheduler, Request, SchedulerConfig, ServeEngine};
+use crate::traffic::{TrafficConfig, TrafficGenerator};
+
+/// Everything a fleet run needs besides the scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Registry sharding and hot-cache sizing.
+    pub registry: RegistryConfig,
+    /// Batch coalescing knobs.
+    pub scheduler: SchedulerConfig,
+    /// Traffic shape. `users` is overridden with the harness's client
+    /// pool size.
+    pub traffic: TrafficConfig,
+    /// Tier fused batches are costed on.
+    pub tier: ComputeTier,
+    /// Privacy layer installed on every personalized model at enrollment.
+    pub privacy: Option<PrivacyLayer>,
+    /// How many contributor (unenrolled) users join the client pool and
+    /// exercise the general-model fallback.
+    pub unenrolled_clients: usize,
+    /// Distinct query sequences cached per client (cycled round-robin).
+    pub queries_per_user: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            registry: RegistryConfig::default(),
+            scheduler: SchedulerConfig::default(),
+            traffic: TrafficConfig::default(),
+            tier: ComputeTier::Cloud,
+            privacy: Some(PrivacyLayer::default()),
+            unenrolled_clients: 4,
+            queries_per_user: 32,
+        }
+    }
+}
+
+/// Result of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// Throughput / latency / batching / cache report.
+    pub report: ServeReport,
+    /// Final registry counters (also embedded in the report).
+    pub stats: RegistryStats,
+}
+
+/// Runs a full serving experiment against a scenario's population.
+///
+/// The client pool is the scenario's personalization users (most popular
+/// first, matching the Zipf head) plus `unenrolled_clients` contributors
+/// who never uploaded a model and therefore hit the general fallback.
+/// Each client's queries are real held-out sequences from the dataset,
+/// cycled deterministically. Identical inputs yield identical reports.
+///
+/// # Errors
+///
+/// Returns [`ModelCodecError`] if a stored envelope fails to decode
+/// (impossible for envelopes the registry itself encoded).
+pub fn run_fleet(
+    scenario: &Scenario,
+    config: &FleetConfig,
+) -> Result<FleetOutcome, ModelCodecError> {
+    let mut registry = ShardedRegistry::new(scenario.general.clone(), config.registry);
+    registry.enroll_scenario(scenario, config.privacy);
+
+    // Client pool: personalized users first (Zipf head), then unenrolled
+    // contributors exercising the fallback path.
+    let mut pool: Vec<usize> = scenario.personal.iter().map(|u| u.user_id).collect();
+    pool.extend((0..scenario.first_personal_user).take(config.unenrolled_clients));
+
+    let queries_per_user = config.queries_per_user.max(1);
+    let query_pool: Vec<Vec<Sequence>> = pool
+        .iter()
+        .map(|&uid| {
+            scenario
+                .dataset
+                .user_samples(uid)
+                .into_iter()
+                .take(queries_per_user)
+                .map(|sample| sample.xs)
+                .collect()
+        })
+        .collect();
+    // Keep only clients that have at least one recorded session to query
+    // with (everyone, in practice, but guard tiny scenarios).
+    let (pool, query_pool): (Vec<usize>, Vec<Vec<Sequence>>) =
+        pool.into_iter().zip(query_pool).filter(|(_, queries)| !queries.is_empty()).unzip();
+    assert!(!pool.is_empty(), "fleet needs at least one client with data");
+
+    let mut traffic = config.traffic;
+    traffic.users = pool.len();
+    let mut cursors = vec![0usize; pool.len()];
+    let requests: Vec<Request> = TrafficGenerator::new(traffic)
+        .enumerate()
+        .map(|(id, arrival)| {
+            let queries = &query_pool[arrival.user_index];
+            let xs = queries[cursors[arrival.user_index] % queries.len()].clone();
+            cursors[arrival.user_index] += 1;
+            Request { id, user_id: pool[arrival.user_index], arrival_us: arrival.at_us, xs }
+        })
+        .collect();
+
+    let scheduler = BatchScheduler::new(config.scheduler, registry.shard_count());
+    let batches = scheduler.coalesce(requests);
+    let mut engine = ServeEngine::new(&mut registry, config.tier);
+    let mut sink = MetricsSink::default();
+    for batch in &batches {
+        let completions = engine.execute(batch)?;
+        sink.record(batch, &completions);
+    }
+    let stats = registry.stats();
+    Ok(FleetOutcome { report: sink.report(config.tier, stats), stats })
+}

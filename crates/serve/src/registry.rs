@@ -1,0 +1,329 @@
+//! Sharded model registry with a bounded hot cache over cold envelopes.
+//!
+//! A fleet provider cannot keep millions of decoded per-user LSTMs
+//! resident: parameters live as compact [`ModelEnvelope`] bytes (the same
+//! wire format devices upload in Fig. 4 step 3) and are decoded on demand.
+//! The registry splits the user-id space into `N` shards, each with its
+//! own bounded LRU cache of live [`SequenceModel`]s, so a production
+//! deployment could put every shard behind its own lock or process without
+//! changing the data layout. Users without a personalized model fall back
+//! to the shared general model — a degraded-but-valid answer instead of an
+//! unknown-user error.
+
+use std::collections::HashMap;
+
+use pelican::workbench::Scenario;
+use pelican::PrivacyLayer;
+use pelican_nn::{ModelCodecError, ModelEnvelope, SequenceModel};
+
+/// Sizing knobs for [`ShardedRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryConfig {
+    /// Number of shards the user-id space is split across.
+    pub shards: usize,
+    /// Maximum decoded models resident per shard.
+    pub hot_capacity: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        Self { shards: 8, hot_capacity: 64 }
+    }
+}
+
+/// Where a lookup found the user's model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Served from the shard's decoded hot cache.
+    Hot,
+    /// Decoded from cold envelope bytes on this lookup (a cache miss).
+    Cold,
+    /// The user has no personalized model; the shared general model
+    /// answered.
+    Fallback,
+}
+
+/// Aggregate cache counters across all shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegistryStats {
+    /// Lookups answered from a hot cache.
+    pub hits: u64,
+    /// Lookups that had to decode cold bytes.
+    pub misses: u64,
+    /// Hot-cache evictions performed.
+    pub evictions: u64,
+    /// Lookups answered by the general fallback model.
+    pub fallbacks: u64,
+    /// Decoded models currently resident.
+    pub hot_models: usize,
+    /// Enrolled envelopes in cold storage.
+    pub cold_models: usize,
+}
+
+impl RegistryStats {
+    /// Hot-cache hit rate over personalized lookups (hits + misses).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Share of all lookups answered by the general fallback.
+    pub fn fallback_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            self.fallbacks as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct HotEntry {
+    model: SequenceModel,
+    last_used: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    cold: HashMap<usize, ModelEnvelope>,
+    hot: HashMap<usize, HotEntry>,
+    /// Monotone per-shard logical clock; each lookup gets a unique tick,
+    /// so LRU ordering is total and eviction is deterministic.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// The fleet's model store: `N` shards of cold envelopes with bounded
+/// per-shard hot caches, plus the shared general fallback model.
+#[derive(Debug, Clone)]
+pub struct ShardedRegistry {
+    shards: Vec<Shard>,
+    general: SequenceModel,
+    hot_capacity: usize,
+    fallbacks: u64,
+}
+
+impl ShardedRegistry {
+    /// Creates a registry around the shared general (fallback) model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` or `config.hot_capacity` is zero.
+    pub fn new(general: SequenceModel, config: RegistryConfig) -> Self {
+        assert!(config.shards > 0, "registry needs at least one shard");
+        assert!(config.hot_capacity > 0, "hot cache capacity must be positive");
+        Self {
+            shards: vec![Shard::default(); config.shards],
+            general,
+            hot_capacity: config.hot_capacity,
+            fallbacks: 0,
+        }
+    }
+
+    /// Number of shards. The scheduler must coalesce with the same shard
+    /// function ([`ShardedRegistry::shard_of`]) for batches to stay
+    /// shard-local.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a user's model lives on.
+    pub fn shard_of(&self, user_id: usize) -> usize {
+        user_id % self.shards.len()
+    }
+
+    /// Borrows the shared general fallback model.
+    pub fn general(&self) -> &SequenceModel {
+        &self.general
+    }
+
+    /// Enrolls (or replaces) a user's personalized model: the model is
+    /// encoded to cold envelope bytes and any stale hot copy is dropped,
+    /// so the next lookup decodes the fresh parameters.
+    pub fn enroll(&mut self, user_id: usize, model: &SequenceModel) {
+        let envelope = ModelEnvelope::encode(model);
+        self.enroll_envelope(user_id, envelope);
+    }
+
+    /// Enrolls a user directly from uploaded envelope bytes (the on-device
+    /// personalization upload path).
+    pub fn enroll_envelope(&mut self, user_id: usize, envelope: ModelEnvelope) {
+        let sid = self.shard_of(user_id);
+        let shard = &mut self.shards[sid];
+        shard.cold.insert(user_id, envelope);
+        shard.hot.remove(&user_id);
+    }
+
+    /// Bulk enrollment from an experiment [`Scenario`]: every
+    /// personalization user's model is installed, with the user's privacy
+    /// layer applied *before* the model becomes service-visible (the
+    /// general fallback stays unsharpened — it is provider-owned and holds
+    /// no personal data). Returns the number of users enrolled.
+    pub fn enroll_scenario(&mut self, scenario: &Scenario, privacy: Option<PrivacyLayer>) -> usize {
+        for user in &scenario.personal {
+            let mut model = user.model.clone();
+            if let Some(layer) = privacy {
+                layer.apply(&mut model);
+            }
+            self.enroll(user.user_id, &model);
+        }
+        scenario.personal.len()
+    }
+
+    /// Whether a personalized model is enrolled for the user.
+    pub fn is_enrolled(&self, user_id: usize) -> bool {
+        self.shards[self.shard_of(user_id)].cold.contains_key(&user_id)
+    }
+
+    /// Looks up the model that should answer a user's query, decoding cold
+    /// bytes (and evicting the least-recently-used hot entry) on a miss.
+    /// Unenrolled users get the shared general model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelCodecError`] if the user's stored envelope is
+    /// corrupt.
+    pub fn get(&mut self, user_id: usize) -> Result<(&SequenceModel, Lookup), ModelCodecError> {
+        let sid = self.shard_of(user_id);
+        let capacity = self.hot_capacity;
+        let shard = &mut self.shards[sid];
+        shard.tick += 1;
+        let tick = shard.tick;
+        let lookup = if let Some(entry) = shard.hot.get_mut(&user_id) {
+            entry.last_used = tick;
+            shard.hits += 1;
+            Lookup::Hot
+        } else if let Some(envelope) = shard.cold.get(&user_id) {
+            let model = envelope.decode()?;
+            shard.misses += 1;
+            if shard.hot.len() >= capacity {
+                let (&lru, _) = shard
+                    .hot
+                    .iter()
+                    .min_by_key(|(&uid, entry)| (entry.last_used, uid))
+                    .expect("cache at capacity is nonempty");
+                shard.hot.remove(&lru);
+                shard.evictions += 1;
+            }
+            shard.hot.insert(user_id, HotEntry { model, last_used: tick });
+            Lookup::Cold
+        } else {
+            self.fallbacks += 1;
+            return Ok((&self.general, Lookup::Fallback));
+        };
+        let model = &self.shards[sid].hot.get(&user_id).expect("hit or just inserted").model;
+        Ok((model, lookup))
+    }
+
+    /// Aggregate counters across all shards.
+    pub fn stats(&self) -> RegistryStats {
+        let mut stats = RegistryStats { fallbacks: self.fallbacks, ..RegistryStats::default() };
+        for shard in &self.shards {
+            stats.hits += shard.hits;
+            stats.misses += shard.misses;
+            stats.evictions += shard.evictions;
+            stats.hot_models += shard.hot.len();
+            stats.cold_models += shard.cold.len();
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(seed: u64) -> SequenceModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SequenceModel::single_lstm(4, 5, 3, 0.0, &mut rng)
+    }
+
+    fn registry(shards: usize, hot_capacity: usize) -> ShardedRegistry {
+        ShardedRegistry::new(model(0), RegistryConfig { shards, hot_capacity })
+    }
+
+    #[test]
+    fn lookup_paths_hit_miss_fallback() {
+        let mut r = registry(4, 2);
+        r.enroll(9, &model(9));
+        assert!(r.is_enrolled(9));
+
+        let (_, first) = r.get(9).unwrap();
+        assert_eq!(first, Lookup::Cold, "first touch decodes cold bytes");
+        let (_, second) = r.get(9).unwrap();
+        assert_eq!(second, Lookup::Hot);
+
+        let (fallback, kind) = r.get(1234).unwrap();
+        assert_eq!(kind, Lookup::Fallback);
+        assert_eq!(fallback.output_dim(), r.general().output_dim());
+
+        let stats = r.stats();
+        assert_eq!((stats.hits, stats.misses, stats.fallbacks), (1, 1, 1));
+        assert_eq!(stats.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // Users 0, 4, 8 all land on shard 0 of a 4-shard registry.
+        let mut r = registry(4, 2);
+        for uid in [0usize, 4, 8] {
+            r.enroll(uid, &model(uid as u64));
+        }
+        r.get(0).unwrap();
+        r.get(4).unwrap();
+        r.get(0).unwrap(); // 0 is now more recent than 4
+        r.get(8).unwrap(); // capacity 2: must evict 4
+        let stats = r.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.hot_models, 2);
+        let (_, kind) = r.get(0).unwrap();
+        assert_eq!(kind, Lookup::Hot, "recently used survivor stays hot");
+        let (_, kind) = r.get(4).unwrap();
+        assert_eq!(kind, Lookup::Cold, "evicted model decodes again");
+    }
+
+    #[test]
+    fn decoded_model_answers_like_the_original() {
+        let mut r = registry(2, 4);
+        let mut m = model(7);
+        // Deployed defenses (temperature + post-processing) must survive
+        // the cold-storage round trip, not just the weights.
+        m.set_temperature(1e-2);
+        m.set_postprocess(pelican_nn::Postprocess::Round { decimals: 2 });
+        r.enroll(3, &m);
+        let xs = vec![vec![0.2; 4]; 2];
+        let (served, _) = r.get(3).unwrap();
+        assert_eq!(served.predict_proba(&xs), m.predict_proba(&xs));
+    }
+
+    #[test]
+    fn re_enrollment_replaces_the_hot_copy() {
+        let mut r = registry(2, 4);
+        r.enroll(5, &model(1));
+        r.get(5).unwrap();
+        let replacement = model(2);
+        r.enroll(5, &replacement);
+        let xs = vec![vec![0.1; 4]];
+        let (served, kind) = r.get(5).unwrap();
+        assert_eq!(kind, Lookup::Cold, "stale hot copy was dropped");
+        assert_eq!(served.predict_proba(&xs), replacement.predict_proba(&xs));
+    }
+
+    #[test]
+    fn shard_function_partitions_users() {
+        let r = registry(4, 2);
+        assert_eq!(r.shard_count(), 4);
+        for uid in 0..16 {
+            assert_eq!(r.shard_of(uid), uid % 4);
+        }
+    }
+}

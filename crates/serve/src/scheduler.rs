@@ -1,0 +1,321 @@
+//! Request coalescing and fused batch execution.
+//!
+//! The scheduler turns an open-loop arrival stream into shard-local
+//! batches: requests for the same registry shard accumulate until either
+//! `max_batch` requests are waiting or the oldest has waited `max_delay`,
+//! the classic throughput/latency trade of batched serving. The engine
+//! then executes a batch by grouping its requests per user model and
+//! driving each group through the fused
+//! [`SequenceModel::predict_proba_batch`] path, attributing the simulated
+//! compute to a [`ComputeTier`].
+//!
+//! [`SequenceModel::predict_proba_batch`]: pelican_nn::SequenceModel::predict_proba_batch
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use pelican::platform::{measure, ComputeTier};
+use pelican_nn::{ModelCodecError, Sequence, Step};
+
+use crate::registry::{Lookup, ShardedRegistry};
+
+/// One query waiting to be served.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Stable request id (assigned by the harness, unique per run).
+    pub id: usize,
+    /// The user whose model should answer.
+    pub user_id: usize,
+    /// Arrival time in simulated microseconds.
+    pub arrival_us: u64,
+    /// The query sequence.
+    pub xs: Sequence,
+}
+
+/// Coalescing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Flush a shard's buffer as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// Flush a shard's buffer once its oldest request has waited this many
+    /// simulated microseconds.
+    pub max_delay_us: u64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self { max_batch: 16, max_delay_us: 2_000 }
+    }
+}
+
+/// A shard-local batch ready for fused execution.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Registry shard every request in the batch maps to.
+    pub shard: usize,
+    /// Simulated time the batch was sealed and handed to the engine.
+    pub dispatched_us: u64,
+    /// The coalesced requests, in arrival order.
+    pub requests: Vec<Request>,
+}
+
+/// Deterministic size/deadline batcher over shard-local buffers.
+#[derive(Debug, Clone)]
+pub struct BatchScheduler {
+    config: SchedulerConfig,
+    n_shards: usize,
+}
+
+impl BatchScheduler {
+    /// Creates a scheduler for a registry with `n_shards` shards (use
+    /// [`ShardedRegistry::shard_count`] so batches stay shard-local).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` or `config.max_batch` is zero.
+    pub fn new(config: SchedulerConfig, n_shards: usize) -> Self {
+        assert!(n_shards > 0, "scheduler needs at least one shard");
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        Self { config, n_shards }
+    }
+
+    /// Coalesces an arrival-ordered request stream into dispatch-ordered
+    /// batches. Every request appears in exactly one batch; a batch is
+    /// dispatched either the moment it fills (`max_batch`) or when its
+    /// oldest request's deadline (`arrival + max_delay`) expires.
+    pub fn coalesce(&self, mut requests: Vec<Request>) -> Vec<Batch> {
+        requests.sort_by_key(|r| (r.arrival_us, r.id));
+        let mut buffers: Vec<Vec<Request>> = vec![Vec::new(); self.n_shards];
+        let mut deadlines: Vec<u64> = vec![u64::MAX; self.n_shards];
+        let mut batches: Vec<Batch> = Vec::new();
+
+        for request in requests {
+            let now = request.arrival_us;
+            self.flush_expired(&mut buffers, &mut deadlines, now, &mut batches);
+            let shard = request.user_id % self.n_shards;
+            if buffers[shard].is_empty() {
+                deadlines[shard] = now.saturating_add(self.config.max_delay_us);
+            }
+            buffers[shard].push(request);
+            if buffers[shard].len() >= self.config.max_batch {
+                batches.push(Batch {
+                    shard,
+                    dispatched_us: now,
+                    requests: std::mem::take(&mut buffers[shard]),
+                });
+                deadlines[shard] = u64::MAX;
+            }
+        }
+        self.flush_expired(&mut buffers, &mut deadlines, u64::MAX, &mut batches);
+        batches
+    }
+
+    /// Dispatches every buffered batch whose deadline has passed, in
+    /// deterministic (deadline, shard) order.
+    fn flush_expired(
+        &self,
+        buffers: &mut [Vec<Request>],
+        deadlines: &mut [u64],
+        now: u64,
+        batches: &mut Vec<Batch>,
+    ) {
+        let mut due: Vec<(u64, usize)> = deadlines
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d != u64::MAX && d <= now)
+            .map(|(shard, &d)| (d, shard))
+            .collect();
+        due.sort_unstable();
+        for (deadline, shard) in due {
+            batches.push(Batch {
+                shard,
+                dispatched_us: deadline,
+                requests: std::mem::take(&mut buffers[shard]),
+            });
+            deadlines[shard] = u64::MAX;
+        }
+    }
+}
+
+/// A served request: its answer plus everything needed for latency and
+/// cache accounting.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The originating request id.
+    pub request_id: usize,
+    /// The user whose model answered.
+    pub user_id: usize,
+    /// When the request arrived (simulated µs).
+    pub arrival_us: u64,
+    /// When its batch was dispatched (simulated µs).
+    pub dispatched_us: u64,
+    /// Simulated compute time of the whole fused batch — the batch
+    /// completes together, so every member pays the same compute.
+    pub compute: Duration,
+    /// How the registry found the answering model.
+    pub lookup: Lookup,
+    /// The confidence vector, bit-identical to an unbatched query.
+    pub probs: Step,
+}
+
+/// Executes batches against a registry on a simulated compute tier.
+#[derive(Debug)]
+pub struct ServeEngine<'a> {
+    registry: &'a mut ShardedRegistry,
+    tier: ComputeTier,
+}
+
+impl<'a> ServeEngine<'a> {
+    /// Creates an engine over the registry, attributing compute to `tier`.
+    pub fn new(registry: &'a mut ShardedRegistry, tier: ComputeTier) -> Self {
+        Self { registry, tier }
+    }
+
+    /// Runs one batch: requests are grouped by the *model* that will
+    /// answer them (per enrolled user, first-appearance order, with every
+    /// unenrolled user's request folded into one shared general-model
+    /// group), each group is answered through its model's fused batch
+    /// path, and the measured FLOPs are converted to simulated time on
+    /// the engine's tier. Completions come back in request order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelCodecError`] if a stored envelope fails to decode.
+    pub fn execute(&mut self, batch: &Batch) -> Result<Vec<Completion>, ModelCodecError> {
+        // Grouping key: Some(user) for enrolled users, None for the shared
+        // fallback — distinct unenrolled users all resolve to the same
+        // general model, so their requests fuse into one batch row set.
+        let mut group_of: HashMap<Option<usize>, usize> = HashMap::new();
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (i, request) in batch.requests.iter().enumerate() {
+            let key = self.registry.is_enrolled(request.user_id).then_some(request.user_id);
+            match group_of.get(&key) {
+                Some(&g) => groups[g].1.push(i),
+                None => {
+                    group_of.insert(key, groups.len());
+                    groups.push((request.user_id, vec![i]));
+                }
+            }
+        }
+
+        let registry = &mut *self.registry;
+        let (answered, usage) = measure(self.tier, || {
+            let mut answered: Vec<(usize, Step, Lookup)> = Vec::with_capacity(batch.requests.len());
+            for (user_id, members) in &groups {
+                let (model, lookup) = match registry.get(*user_id) {
+                    Ok(found) => found,
+                    Err(e) => return Err(e),
+                };
+                let rows: Vec<&[Step]> =
+                    members.iter().map(|&i| batch.requests[i].xs.as_slice()).collect();
+                let probs = model.predict_proba_batch(&rows);
+                for (&i, p) in members.iter().zip(probs) {
+                    answered.push((i, p, lookup));
+                }
+            }
+            Ok(answered)
+        });
+        let mut answered = answered?;
+        answered.sort_by_key(|&(i, _, _)| i);
+
+        Ok(answered
+            .into_iter()
+            .map(|(i, probs, lookup)| {
+                let request = &batch.requests[i];
+                Completion {
+                    request_id: request.id,
+                    user_id: request.user_id,
+                    arrival_us: request.arrival_us,
+                    dispatched_us: batch.dispatched_us,
+                    compute: usage.simulated,
+                    lookup,
+                    probs,
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::RegistryConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn request(id: usize, user_id: usize, arrival_us: u64) -> Request {
+        Request { id, user_id, arrival_us, xs: vec![vec![0.1; 4]; 2] }
+    }
+
+    fn scheduler(max_batch: usize, max_delay_us: u64) -> BatchScheduler {
+        BatchScheduler::new(SchedulerConfig { max_batch, max_delay_us }, 2)
+    }
+
+    #[test]
+    fn full_buffers_dispatch_immediately() {
+        let s = scheduler(2, 1_000_000);
+        let batches = s.coalesce(vec![request(0, 0, 10), request(1, 2, 20), request(2, 4, 30)]);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].dispatched_us, 20, "filled at the second arrival");
+        assert_eq!(batches[0].requests.len(), 2);
+        assert_eq!(batches[1].requests.len(), 1, "leftover flushes at its deadline");
+    }
+
+    #[test]
+    fn deadlines_bound_waiting() {
+        let s = scheduler(100, 50);
+        let batches = s.coalesce(vec![request(0, 0, 0), request(1, 0, 500)]);
+        assert_eq!(batches.len(), 2, "50µs deadline splits arrivals 500µs apart");
+        assert_eq!(batches[0].dispatched_us, 50);
+        assert_eq!(batches[1].dispatched_us, 550);
+    }
+
+    #[test]
+    fn batches_are_shard_local_and_lossless() {
+        let s = scheduler(4, 100);
+        let requests: Vec<Request> = (0..20).map(|i| request(i, i % 5, (i as u64) * 10)).collect();
+        let batches = s.coalesce(requests);
+        let mut seen: Vec<usize> = Vec::new();
+        for batch in &batches {
+            for r in &batch.requests {
+                assert_eq!(r.user_id % 2, batch.shard);
+                seen.push(r.id);
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..20).collect::<Vec<_>>(), "every request served exactly once");
+    }
+
+    #[test]
+    fn engine_answers_match_unbatched_queries() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let general = pelican_nn::SequenceModel::single_lstm(4, 6, 3, 0.0, &mut rng);
+        let personalized = pelican_nn::SequenceModel::single_lstm(4, 6, 3, 0.0, &mut rng);
+        let mut registry =
+            ShardedRegistry::new(general.clone(), RegistryConfig { shards: 2, hot_capacity: 4 });
+        registry.enroll(2, &personalized);
+
+        let mut requests: Vec<Request> = (0..6).map(|i| request(i, 2, i as u64)).collect();
+        requests.push(request(6, 8, 3)); // unenrolled, same shard -> fallback
+        requests.push(request(7, 10, 4)); // second distinct unenrolled user
+        let batch = Batch { shard: 0, dispatched_us: 10, requests };
+
+        let mut engine = ServeEngine::new(&mut registry, ComputeTier::Cloud);
+        let completions = engine.execute(&batch).expect("envelopes decode");
+        assert_eq!(completions.len(), 8);
+        for c in &completions {
+            let expected = if c.user_id == 2 { &personalized } else { &general };
+            assert_eq!(
+                c.probs,
+                expected.predict_proba(&batch.requests[c.request_id].xs),
+                "fused answers must be bit-identical to unbatched ones"
+            );
+            assert!(c.compute > Duration::ZERO);
+        }
+        assert_eq!(completions[6].lookup, Lookup::Fallback);
+        assert_eq!(completions[7].lookup, Lookup::Fallback);
+        // Distinct unenrolled users share the general model, so the whole
+        // fallback group costs a single registry lookup.
+        assert_eq!(registry.stats().fallbacks, 1, "fallback rows fuse into one group");
+    }
+}

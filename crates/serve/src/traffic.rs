@@ -1,0 +1,202 @@
+//! Deterministic open-loop traffic generation.
+//!
+//! Fleet traffic is not uniform: a small set of heavy users dominates
+//! query volume (Zipf-skewed popularity) and arrivals cluster into bursts
+//! (class changes on a campus empty thousands of phones into the network
+//! at once). The generator reproduces both properties from a single seed:
+//! identical seeds yield identical arrival timestamps and user picks,
+//! machine-to-machine, so every serving experiment is exactly repeatable.
+
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+/// Shape of the synthetic request stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficConfig {
+    /// Total requests to emit.
+    pub requests: usize,
+    /// Size of the client population (user *indices* `0..users`; rank 0 is
+    /// the most popular client).
+    pub users: usize,
+    /// Zipf popularity exponent (`s` in `w_r ∝ 1/(r+1)^s`); larger skews
+    /// harder toward the head.
+    pub zipf_exponent: f64,
+    /// Mean inter-arrival gap outside bursts, in microseconds.
+    pub mean_interarrival_us: f64,
+    /// Cycle length of the burst pattern, in requests.
+    pub burst_period: usize,
+    /// Leading requests of each cycle that arrive at burst rate.
+    pub burst_len: usize,
+    /// Arrival-rate multiplier during bursts (≥ 1).
+    pub burst_factor: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        Self {
+            requests: 10_000,
+            users: 64,
+            zipf_exponent: 1.1,
+            mean_interarrival_us: 400.0,
+            burst_period: 512,
+            burst_len: 128,
+            burst_factor: 8.0,
+            seed: 42,
+        }
+    }
+}
+
+/// One generated arrival: a timestamp and the client (by popularity rank)
+/// issuing the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival time in microseconds of simulated wall clock.
+    pub at_us: u64,
+    /// Client index in `0..users`, Zipf-distributed by rank.
+    pub user_index: usize,
+}
+
+/// Seeded open-loop arrival process; iterate to drain the stream.
+#[derive(Debug, Clone)]
+pub struct TrafficGenerator {
+    config: TrafficConfig,
+    /// Cumulative Zipf distribution over user ranks.
+    cdf: Vec<f64>,
+    rng: StdRng,
+    clock_us: f64,
+    emitted: usize,
+}
+
+impl TrafficGenerator {
+    /// Creates a generator for the given traffic shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users` is zero, rates are non-positive, or the burst
+    /// window exceeds its period.
+    pub fn new(config: TrafficConfig) -> Self {
+        assert!(config.users > 0, "traffic needs at least one user");
+        assert!(config.zipf_exponent > 0.0, "zipf exponent must be positive");
+        assert!(config.mean_interarrival_us > 0.0, "mean inter-arrival must be positive");
+        assert!(config.burst_factor >= 1.0, "burst factor must be >= 1");
+        assert!(
+            config.burst_len <= config.burst_period && config.burst_period > 0,
+            "burst window must fit its period"
+        );
+        let mut cdf = Vec::with_capacity(config.users);
+        let mut acc = 0.0;
+        for rank in 0..config.users {
+            acc += 1.0 / ((rank + 1) as f64).powf(config.zipf_exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { config, cdf, rng: StdRng::seed_from_u64(config.seed), clock_us: 0.0, emitted: 0 }
+    }
+
+    /// The configured traffic shape.
+    pub fn config(&self) -> &TrafficConfig {
+        &self.config
+    }
+
+    fn in_burst(&self) -> bool {
+        self.emitted % self.config.burst_period < self.config.burst_len
+    }
+}
+
+impl Iterator for TrafficGenerator {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        if self.emitted >= self.config.requests {
+            return None;
+        }
+        // Exponential inter-arrival gap by inverse transform; bursts
+        // multiply the arrival rate (divide the gap). `u` is in [0, 1), so
+        // `1 - u` is in (0, 1]; the clamp keeps the log finite even for a
+        // pathological draw.
+        let u: f64 = self.rng.random();
+        let mut gap = -(1.0 - u).max(f64::MIN_POSITIVE).ln() * self.config.mean_interarrival_us;
+        if self.in_burst() {
+            gap /= self.config.burst_factor;
+        }
+        self.clock_us += gap;
+        let pick: f64 = self.rng.random();
+        let user_index = self.cdf.partition_point(|&c| c <= pick).min(self.config.users - 1);
+        self.emitted += 1;
+        Some(Arrival { at_us: self.clock_us as u64, user_index })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(requests: usize) -> TrafficConfig {
+        TrafficConfig { requests, users: 16, seed: 7, ..TrafficConfig::default() }
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_the_stream() {
+        let a: Vec<Arrival> = TrafficGenerator::new(config(500)).collect();
+        let b: Vec<Arrival> = TrafficGenerator::new(config(500)).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+    }
+
+    #[test]
+    fn arrivals_are_monotone() {
+        let arrivals: Vec<Arrival> = TrafficGenerator::new(config(1000)).collect();
+        for pair in arrivals.windows(2) {
+            assert!(pair[0].at_us <= pair[1].at_us);
+        }
+    }
+
+    #[test]
+    fn popularity_is_zipf_skewed() {
+        let mut counts = vec![0usize; 16];
+        for arrival in TrafficGenerator::new(config(4000)) {
+            counts[arrival.user_index] += 1;
+        }
+        assert!(
+            counts[0] > counts[8] && counts[0] > counts[15],
+            "head user must dominate: {counts:?}"
+        );
+        assert!(counts[0] > 4000 / 16, "head user beats the uniform share");
+    }
+
+    #[test]
+    fn bursts_compress_interarrival_gaps() {
+        let cfg = TrafficConfig {
+            requests: 2048,
+            users: 4,
+            burst_period: 512,
+            burst_len: 256,
+            burst_factor: 16.0,
+            seed: 3,
+            ..TrafficConfig::default()
+        };
+        let arrivals: Vec<Arrival> = TrafficGenerator::new(cfg).collect();
+        let gap = |i: usize| arrivals[i + 1].at_us.saturating_sub(arrivals[i].at_us);
+        // Mean gap inside the first burst window vs. the tail of the cycle.
+        let burst_mean: f64 = (0..255).map(gap).sum::<u64>() as f64 / 255.0;
+        let calm_mean: f64 = (256..511).map(gap).sum::<u64>() as f64 / 255.0;
+        assert!(
+            burst_mean * 4.0 < calm_mean,
+            "bursts must be much denser: burst {burst_mean} vs calm {calm_mean}"
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<Arrival> = TrafficGenerator::new(config(100)).collect();
+        let mut cfg = config(100);
+        cfg.seed = 8;
+        let b: Vec<Arrival> = TrafficGenerator::new(cfg).collect();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,76 @@
+//! End-to-end fleet serving against a real (tiny) scenario: the harness
+//! must be deterministic, lossless, and must serve unenrolled users a
+//! valid general-model answer instead of an error.
+
+use pelican::platform::ComputeTier;
+use pelican::workbench::Scenario;
+use pelican_mobility::{Scale, SpatialLevel};
+use pelican_serve::{run_fleet, FleetConfig, RegistryConfig, SchedulerConfig, TrafficConfig};
+
+fn scenario() -> Scenario {
+    Scenario::builder(Scale::Tiny, SpatialLevel::Building).seed(19).personal_users(3).build()
+}
+
+fn config(requests: usize) -> FleetConfig {
+    FleetConfig {
+        registry: RegistryConfig { shards: 4, hot_capacity: 2 },
+        scheduler: SchedulerConfig { max_batch: 8, max_delay_us: 1_500 },
+        traffic: TrafficConfig { requests, seed: 5, ..TrafficConfig::default() },
+        tier: ComputeTier::Cloud,
+        unenrolled_clients: 3,
+        queries_per_user: 8,
+        ..FleetConfig::default()
+    }
+}
+
+#[test]
+fn fleet_run_is_deterministic_and_lossless() {
+    let s = scenario();
+    let a = run_fleet(&s, &config(600)).expect("fleet runs");
+    let b = run_fleet(&s, &config(600)).expect("fleet runs");
+
+    assert_eq!(a.report.requests, 600, "every generated request is served");
+    assert_eq!(a.report.requests, b.report.requests);
+    assert_eq!(a.report.batches, b.report.batches);
+    assert_eq!(a.report.batch_histogram, b.report.batch_histogram);
+    assert_eq!(
+        (a.report.p50_us, a.report.p95_us, a.report.p99_us),
+        (b.report.p50_us, b.report.p95_us, b.report.p99_us),
+        "simulated latency must be a pure function of the seeds"
+    );
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn fleet_exercises_cache_and_fallback_paths() {
+    let s = scenario();
+    let outcome = run_fleet(&s, &config(800)).expect("fleet runs");
+    let stats = outcome.stats;
+
+    assert!(stats.hits > 0, "Zipf-skewed traffic must re-hit hot models");
+    assert!(stats.misses > 0, "cold decodes happen on first touch");
+    assert!(stats.fallbacks > 0, "unenrolled clients are served by the general model");
+    assert!(stats.hit_rate() > 0.5, "hot traffic should mostly hit: {stats:?}");
+    assert!(outcome.report.fallback_share > 0.0 && outcome.report.fallback_share < 1.0);
+    assert_eq!(stats.cold_models, 3, "all personalization users stay enrolled");
+    assert!(outcome.report.throughput_qps > 0.0);
+    assert!(outcome.report.p50_us <= outcome.report.p95_us);
+    assert!(outcome.report.p95_us <= outcome.report.p99_us);
+}
+
+#[test]
+fn coalescing_forms_real_batches_under_load() {
+    let s = scenario();
+    // Dense arrivals: mean gap far below the flush deadline, so buffers
+    // fill to max_batch instead of timing out.
+    let mut cfg = config(1_000);
+    cfg.traffic.mean_interarrival_us = 20.0;
+    let outcome = run_fleet(&s, &cfg).expect("fleet runs");
+    assert!(
+        outcome.report.mean_batch > 2.0,
+        "dense traffic must coalesce (mean batch {})",
+        outcome.report.mean_batch
+    );
+    let max_size = outcome.report.batch_histogram.iter().map(|&(s, _)| s).max().unwrap_or(0);
+    assert_eq!(max_size, 8, "full batches dispatch at max_batch");
+}

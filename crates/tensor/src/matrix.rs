@@ -180,6 +180,14 @@ impl Matrix {
 
     /// Matrix product `self · rhsᵀ` without materializing the transpose.
     ///
+    /// Four `rhs` rows are processed per pass over each `self` row, giving
+    /// the CPU four *independent* accumulation chains to overlap — the
+    /// single serial chain of a plain dot product is what bounds
+    /// [`Matrix::matvec`] at ~1 FLOP/cycle, and it is exactly what fused
+    /// batched inference escapes. Every accumulator still sums its
+    /// products in strict left-to-right `k` order, so each output element
+    /// is bit-identical to a scalar [`Matrix::matvec`] of the same row.
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.cols()`.
@@ -189,17 +197,38 @@ impl Matrix {
             "matmul_transpose dimension mismatch: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        let cols = self.cols;
         let mut out = Matrix::zeros(self.rows, rhs.rows);
         for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = rhs.row(j);
+            let a_row = &self.data[i * cols..(i + 1) * cols];
+            let out_row = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
+            let mut j = 0;
+            while j + 4 <= rhs.rows {
+                let b0 = &rhs.data[j * cols..(j + 1) * cols];
+                let b1 = &rhs.data[(j + 1) * cols..(j + 2) * cols];
+                let b2 = &rhs.data[(j + 2) * cols..(j + 3) * cols];
+                let b3 = &rhs.data[(j + 3) * cols..(j + 4) * cols];
+                let (mut acc0, mut acc1, mut acc2, mut acc3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for (k, &a) in a_row.iter().enumerate() {
+                    acc0 += a * b0[k];
+                    acc1 += a * b1[k];
+                    acc2 += a * b2[k];
+                    acc3 += a * b3[k];
+                }
+                out_row[j] = acc0;
+                out_row[j + 1] = acc1;
+                out_row[j + 2] = acc2;
+                out_row[j + 3] = acc3;
+                j += 4;
+            }
+            while j < rhs.rows {
+                let b_row = &rhs.data[j * cols..(j + 1) * cols];
                 let mut acc = 0.0;
                 for (&a, &b) in a_row.iter().zip(b_row) {
                     acc += a * b;
                 }
-                *o = acc;
+                out_row[j] = acc;
+                j += 1;
             }
         }
         record_flops(2 * self.rows as u64 * self.cols as u64 * rhs.rows as u64);

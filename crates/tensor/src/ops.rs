@@ -207,4 +207,16 @@ mod tests {
         assert_eq!(top_k(&[0.1], 5), vec![0]);
         assert!(top_k(&[], 3).is_empty());
     }
+
+    #[test]
+    fn top_k_breaks_ties_by_index() {
+        // Regression guard for the serving path: sharpened (privacy-layer)
+        // confidences underflow whole tails to exactly 0.0, so tied values
+        // are the common case and must order by index for batched,
+        // unbatched and re-run results to agree.
+        assert_eq!(top_k(&[0.25, 0.25, 0.25, 0.25], 4), vec![0, 1, 2, 3]);
+        assert_eq!(top_k(&[0.5, 0.0, 0.0, 0.5, 0.0], 5), vec![0, 3, 1, 2, 4]);
+        let sharpened = [0.0f32, 1.0, 0.0, 0.0];
+        assert_eq!(top_k(&sharpened, 4), vec![1, 0, 2, 3]);
+    }
 }

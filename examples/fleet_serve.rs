@@ -1,0 +1,63 @@
+//! Fleet serving: ~10,000 queries against a small campus population.
+//!
+//! Builds a scenario (cloud training + device personalization), enrolls
+//! every personalized model into the sharded registry with its privacy
+//! layer, then drives a Zipf-skewed, bursty, seeded request stream
+//! through the batch scheduler and the fused inference kernels — the
+//! ROADMAP's "heavy traffic from many users" north star in miniature,
+//! extending Fig. 4 step 3 beyond the paper's one-query-at-a-time story.
+//!
+//! Run with: `cargo run --release --example fleet_serve`
+
+use pelican::platform::ComputeTier;
+use pelican::workbench::Scenario;
+use pelican::PrivacyLayer;
+use pelican_mobility::{Scale, SpatialLevel};
+use pelican_serve::{
+    run_fleet, FleetConfig, RegistryConfig, SchedulerConfig, ShardedRegistry, TrafficConfig,
+};
+
+fn main() {
+    let scenario =
+        Scenario::builder(Scale::Tiny, SpatialLevel::Building).seed(42).personal_users(4).build();
+    println!("campus        : {} users, {} locations", scenario.dataset.users.len(), {
+        scenario.dataset.n_locations()
+    });
+    println!("general model : {}", scenario.general.describe());
+    println!("enrolled      : {} personalized models (T = 1e-3 privacy layer)\n", {
+        scenario.personal.len()
+    });
+
+    // Guard the core contract where CI can see it: a fused batch answers
+    // every query bit-identically to the one-at-a-time path.
+    let mut sharpened = scenario.personal[0].model.clone();
+    PrivacyLayer::default().apply(&mut sharpened);
+    let queries: Vec<_> = scenario.personal[0].test.iter().map(|s| s.xs.clone()).collect();
+    let fused = sharpened.predict_proba_batch(&queries);
+    for (q, batched) in queries.iter().zip(&fused) {
+        assert_eq!(&sharpened.predict_proba(q), batched, "batched answers must be bit-identical");
+    }
+    println!("equivalence   : {} fused answers bit-identical to unbatched ones ✓\n", fused.len());
+
+    let config = FleetConfig {
+        registry: RegistryConfig { shards: 8, hot_capacity: 2 },
+        scheduler: SchedulerConfig { max_batch: 16, max_delay_us: 2_000 },
+        traffic: TrafficConfig { requests: 10_000, seed: 42, ..TrafficConfig::default() },
+        tier: ComputeTier::Cloud,
+        privacy: Some(PrivacyLayer::default()),
+        unenrolled_clients: 4,
+        queries_per_user: 32,
+    };
+    let outcome = run_fleet(&scenario, &config).expect("registry envelopes decode");
+    println!("{}", outcome.report.render());
+
+    // A tighter cache shows the cold path under pressure.
+    let mut registry = ShardedRegistry::new(scenario.general.clone(), config.registry);
+    registry.enroll_scenario(&scenario, config.privacy);
+    println!(
+        "registry      : {} shards, {} cold envelopes, per-shard hot capacity {}",
+        registry.shard_count(),
+        registry.stats().cold_models,
+        config.registry.hot_capacity
+    );
+}
