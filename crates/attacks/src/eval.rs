@@ -175,4 +175,86 @@ mod tests {
         let b = AttackEvaluation::empty(&[2]);
         a.merge(&b);
     }
+
+    #[test]
+    #[should_panic(expected = "different k grids")]
+    fn merge_rejects_disjoint_k_grids_even_with_equal_lengths() {
+        // Same grid *length* is not enough — the slots would silently
+        // aggregate accuracies at different cutoffs.
+        let mut a = AttackEvaluation::empty(&[1, 3]);
+        let b = AttackEvaluation::empty(&[1, 5]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn merging_an_empty_evaluation_is_identity() {
+        let space = FeatureSpace::new(SpatialLevel::Building, 6);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = SequenceModel::general_lstm(space.dim(), 8, 6, 0.0, &mut rng);
+        let prior = Prior::uniform(6);
+        let interest: Vec<usize> = (0..6).collect();
+        let method = AttackMethod::TimeBased(TimeBased::default());
+        let insts = instances(&space, 3);
+        let real = evaluate_attack(&method, &mut model, &space, &prior, &interest, &insts, &[1, 3]);
+
+        let mut merged = real.clone();
+        merged.merge(&AttackEvaluation::empty(&[1, 3]));
+        assert_eq!(merged.total, real.total);
+        assert_eq!(merged.queries, real.queries);
+        assert_eq!(merged.accuracy(1), real.accuracy(1));
+        assert_eq!(merged.accuracy(3), real.accuracy(3));
+
+        // And the other direction: accumulating into an empty evaluation
+        // (the attack_all pattern) reproduces the original exactly.
+        let mut acc = AttackEvaluation::empty(&[1, 3]);
+        acc.merge(&real);
+        assert_eq!(acc.total, real.total);
+        assert_eq!(acc.accuracy(1), real.accuracy(1));
+    }
+
+    #[test]
+    fn empty_evaluations_report_zero_not_nan() {
+        let empty = AttackEvaluation::empty(&[1, 3]);
+        assert_eq!(empty.total, 0);
+        assert_eq!(empty.accuracy(1), 0.0);
+        assert_eq!(empty.queries_per_instance(), 0.0);
+        let mut a = AttackEvaluation::empty(&[1, 3]);
+        a.merge(&empty);
+        assert_eq!(a.total, 0);
+        assert_eq!(a.accuracy(3), 0.0);
+    }
+
+    #[test]
+    fn merge_accounts_queries_and_weighted_accuracy() {
+        let space = FeatureSpace::new(SpatialLevel::Building, 6);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = SequenceModel::general_lstm(space.dim(), 8, 6, 0.0, &mut rng);
+        let prior = Prior::uniform(6);
+        let interest: Vec<usize> = (0..6).collect();
+        let method = AttackMethod::TimeBased(TimeBased::default());
+        let insts = instances(&space, 6);
+
+        let parts: Vec<AttackEvaluation> = insts
+            .chunks(2)
+            .map(|c| evaluate_attack(&method, &mut model, &space, &prior, &interest, c, &[1, 3]))
+            .collect();
+        let whole =
+            evaluate_attack(&method, &mut model, &space, &prior, &interest, &insts, &[1, 3]);
+
+        let mut merged = AttackEvaluation::empty(&[1, 3]);
+        for part in &parts {
+            merged.merge(part);
+        }
+        assert_eq!(merged.total, whole.total);
+        assert_eq!(merged.queries, parts.iter().map(|p| p.queries).sum::<u64>());
+        assert_eq!(merged.queries, whole.queries, "splitting instances costs no extra queries");
+        // Hit counts (and therefore accuracies over the same total) add up.
+        assert_eq!(merged.accuracy(1), whole.accuracy(1));
+        assert_eq!(merged.accuracy(3), whole.accuracy(3));
+        assert_eq!(
+            merged.queries_per_instance(),
+            whole.queries_per_instance(),
+            "per-instance cost is merge-invariant"
+        );
+    }
 }

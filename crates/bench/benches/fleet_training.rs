@@ -1,0 +1,75 @@
+//! Criterion bench behind the fleet-training subsystem: personalization
+//! throughput (models/s) vs. trainer-pool width.
+//!
+//! Per-user personalization jobs are independent, so throughput should
+//! scale with workers until the machine runs out of cores — the
+//! acceptance bar is ≥ 2× single-worker throughput at 4 workers on a
+//! ≥ 4-core host (a single-core box will honestly show ~1×). Every width
+//! publishes bit-identical weights (asserted before timing starts), so
+//! the pool width is purely a throughput knob.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pelican::PersonalizationConfig;
+use pelican_mobility::{CampusConfig, DatasetBuilder, Scale, SpatialLevel};
+use pelican_nn::{ModelEnvelope, SequenceModel, TrainConfig};
+use pelican_serve::{RegistryConfig, ShardedRegistry};
+use pelican_train::{cohort_jobs, AuditConfig, FleetTrainer, PipelineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fleet_training(c: &mut Criterion) {
+    let dataset =
+        DatasetBuilder::new(CampusConfig::for_scale(Scale::Tiny), 42).build(SpatialLevel::Building);
+    let mut rng = StdRng::seed_from_u64(42);
+    let general =
+        SequenceModel::general_lstm(dataset.space.dim(), 24, dataset.n_locations(), 0.1, &mut rng);
+    let n = dataset.users.len();
+    let jobs = cohort_jobs(&dataset, n.saturating_sub(8)..n, 0.8);
+
+    let pipeline = |workers: usize| {
+        FleetTrainer::new(PipelineConfig {
+            workers,
+            base_seed: 42,
+            personalization: PersonalizationConfig {
+                train: TrainConfig { epochs: 4, ..TrainConfig::default() },
+                hidden_dim: 24,
+                ..PersonalizationConfig::default()
+            },
+            audit: AuditConfig { max_instances: 3, ..AuditConfig::default() },
+            ..PipelineConfig::default()
+        })
+    };
+
+    // The whole point: pool width must not change a single published bit.
+    let published = |workers: usize| -> Vec<Vec<u8>> {
+        let registry = ShardedRegistry::new(general.clone(), RegistryConfig::default());
+        pipeline(workers).run(&general, &dataset.space, &jobs, &registry);
+        jobs.iter()
+            .map(|job| {
+                let (model, _) = registry.get(job.user_id).expect("published model decodes");
+                ModelEnvelope::encode(&model).as_bytes().to_vec()
+            })
+            .collect()
+    };
+    let reference = published(1);
+    for workers in [2usize, 4] {
+        assert_eq!(reference, published(workers), "pool width changed published weights");
+    }
+
+    let mut group = c.benchmark_group("fleet_training");
+    for workers in [1usize, 2, 4, 8] {
+        let trainer = pipeline(workers);
+        group.bench_function(format!("workers/{workers}"), |b| {
+            b.iter(|| {
+                let registry = ShardedRegistry::new(general.clone(), RegistryConfig::default());
+                let report = trainer.run(&general, &dataset.space, &jobs, &registry);
+                std::hint::black_box(report.outcomes.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_training);
+criterion_main!(benches);

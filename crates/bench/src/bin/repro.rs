@@ -10,7 +10,7 @@
 use std::process::ExitCode;
 
 use pelican_bench::experiments::{
-    ablation, adversaries, attack_methods, defense, personalization, serving, spatial,
+    ablation, adversaries, attack_methods, defense, personalization, serving, spatial, training,
 };
 use pelican_bench::{parse_args, RunConfig};
 
@@ -31,6 +31,7 @@ experiments:
   fig5b     defense: leakage reduction vs privacy temperature
   fig5c     defense: leakage reduction by spatial level
   serve-report      fleet serving: throughput, batching, cache and latency per tier
+  train-report      fleet training: parallel personalization, audit gate, enroll latency
   ablate-defenses   compare temperature vs output-noise vs rounding defenses
   ablate-interest   locations-of-interest threshold sweep
   ablate-gd         gradient-descent attack hyperparameter sweep
@@ -140,6 +141,13 @@ fn run_experiment(name: &str, config: &RunConfig) -> bool {
             println!("{}", serving::table(&outcomes).render());
             println!("batch-size histogram (identical across tiers):");
             println!("{}", serving::histogram_table(&outcomes).render());
+        }
+        "train-report" => {
+            banner("Fleet training — parallel personalization & privacy audit", config);
+            let outcomes = training::run(config);
+            println!("{}", training::table(&outcomes).render());
+            println!("(published weights and audit verdicts verified bit-identical across widths;");
+            println!(" speedup is host wall clock, so it reflects this machine's core count)");
         }
         "ablate-defenses" => {
             banner("Ablation — defense comparison (Table V alternatives)", config);

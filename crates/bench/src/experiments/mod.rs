@@ -9,6 +9,7 @@
 //! | [`defense`] | Fig. 5a, Fig. 5b, Fig. 5c |
 //! | [`ablation`] | defense comparison, interest threshold, GD config, freeze depth |
 //! | [`serving`] | fleet-serving throughput/latency (beyond the paper; ROADMAP north star) |
+//! | [`training`] | fleet-training pipeline: parallel personalization + audit gate (beyond the paper) |
 
 pub mod ablation;
 pub mod adversaries;
@@ -17,6 +18,7 @@ pub mod defense;
 pub mod personalization;
 pub mod serving;
 pub mod spatial;
+pub mod training;
 
 use pelican::workbench::Scenario;
 use pelican::PersonalizationMethod;

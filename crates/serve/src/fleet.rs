@@ -75,7 +75,7 @@ pub fn run_fleet(
     scenario: &Scenario,
     config: &FleetConfig,
 ) -> Result<FleetOutcome, ModelCodecError> {
-    let mut registry = ShardedRegistry::new(scenario.general.clone(), config.registry);
+    let registry = ShardedRegistry::new(scenario.general.clone(), config.registry);
     registry.enroll_scenario(scenario, config.privacy);
 
     // Client pool: personalized users first (Zipf head), then unenrolled
@@ -117,7 +117,7 @@ pub fn run_fleet(
 
     let scheduler = BatchScheduler::new(config.scheduler, registry.shard_count());
     let batches = scheduler.coalesce(requests);
-    let mut engine = ServeEngine::new(&mut registry, config.tier);
+    let engine = ServeEngine::new(&registry, config.tier);
     let mut sink = MetricsSink::default();
     for batch in &batches {
         let completions = engine.execute(batch)?;

@@ -43,7 +43,10 @@
 //! let general = pelican_nn::SequenceModel::single_lstm(4, 6, 3, 0.0, &mut rng);
 //! let personalized = pelican_nn::SequenceModel::single_lstm(4, 6, 3, 0.0, &mut rng);
 //!
-//! let mut registry =
+//! // Lookups and publications both go through `&self`: bookkeeping is
+//! // interior-mutable, so serving threads and a publisher can share one
+//! // registry.
+//! let registry =
 //!     ShardedRegistry::new(general, RegistryConfig { shards: 4, hot_capacity: 16 });
 //! registry.enroll(7, &personalized);
 //!

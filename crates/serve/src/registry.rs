@@ -9,8 +9,19 @@
 //! changing the data layout. Users without a personalized model fall back
 //! to the shared general model — a degraded-but-valid answer instead of an
 //! unknown-user error.
+//!
+//! All bookkeeping (LRU ticks, hit/miss counters) lives behind per-shard
+//! mutexes and atomics, so lookups and publications both work through
+//! `&self`: the serving path and the training pipeline's publication
+//! channel share one registry without either needing `&mut`. Decoded
+//! models are handed out as [`Arc`]s — a reader keeps serving the version
+//! it fetched even while a publisher hot-swaps the user's entry, and every
+//! publication bumps a monotone version counter so `get` after a publish
+//! always observes the newest envelope.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use pelican::workbench::Scenario;
 use pelican::PrivacyLayer;
@@ -54,6 +65,8 @@ pub struct RegistryStats {
     pub evictions: u64,
     /// Lookups answered by the general fallback model.
     pub fallbacks: u64,
+    /// Envelope publications (initial enrollments and hot-swap updates).
+    pub publishes: u64,
     /// Decoded models currently resident.
     pub hot_models: usize,
     /// Enrolled envelopes in cold storage.
@@ -84,13 +97,19 @@ impl RegistryStats {
 
 #[derive(Debug, Clone)]
 struct HotEntry {
-    model: SequenceModel,
+    model: Arc<SequenceModel>,
     last_used: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ColdEntry {
+    envelope: ModelEnvelope,
+    version: u64,
 }
 
 #[derive(Debug, Clone, Default)]
 struct Shard {
-    cold: HashMap<usize, ModelEnvelope>,
+    cold: HashMap<usize, ColdEntry>,
     hot: HashMap<usize, HotEntry>,
     /// Monotone per-shard logical clock; each lookup gets a unique tick,
     /// so LRU ordering is total and eviction is deterministic.
@@ -102,12 +121,33 @@ struct Shard {
 
 /// The fleet's model store: `N` shards of cold envelopes with bounded
 /// per-shard hot caches, plus the shared general fallback model.
-#[derive(Debug, Clone)]
+///
+/// Every operation — [`get`](ShardedRegistry::get) on the serving path,
+/// [`enroll`](ShardedRegistry::enroll) on the publication path — takes
+/// `&self`; a shard's state is guarded by its own mutex, so concurrent
+/// readers and one (or more) publishers interleave safely and a published
+/// model becomes visible atomically: the cold envelope is replaced and
+/// the stale hot copy dropped under one shard lock.
+#[derive(Debug)]
 pub struct ShardedRegistry {
-    shards: Vec<Shard>,
-    general: SequenceModel,
+    shards: Vec<Mutex<Shard>>,
+    general: Arc<SequenceModel>,
     hot_capacity: usize,
-    fallbacks: u64,
+    fallbacks: AtomicU64,
+    /// Monotone publication counter; each enrollment gets the next value.
+    versions: AtomicU64,
+}
+
+impl Clone for ShardedRegistry {
+    fn clone(&self) -> Self {
+        Self {
+            shards: self.shards.iter().map(|s| Mutex::new(self.lock(s).clone())).collect(),
+            general: Arc::clone(&self.general),
+            hot_capacity: self.hot_capacity,
+            fallbacks: AtomicU64::new(self.fallbacks.load(Ordering::Relaxed)),
+            versions: AtomicU64::new(self.versions.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl ShardedRegistry {
@@ -120,11 +160,16 @@ impl ShardedRegistry {
         assert!(config.shards > 0, "registry needs at least one shard");
         assert!(config.hot_capacity > 0, "hot cache capacity must be positive");
         Self {
-            shards: vec![Shard::default(); config.shards],
-            general,
+            shards: (0..config.shards).map(|_| Mutex::new(Shard::default())).collect(),
+            general: Arc::new(general),
             hot_capacity: config.hot_capacity,
-            fallbacks: 0,
+            fallbacks: AtomicU64::new(0),
+            versions: AtomicU64::new(0),
         }
+    }
+
+    fn lock<'a>(&'a self, shard: &'a Mutex<Shard>) -> MutexGuard<'a, Shard> {
+        shard.lock().expect("registry shard mutex poisoned")
     }
 
     /// Number of shards. The scheduler must coalesce with the same shard
@@ -146,19 +191,29 @@ impl ShardedRegistry {
 
     /// Enrolls (or replaces) a user's personalized model: the model is
     /// encoded to cold envelope bytes and any stale hot copy is dropped,
-    /// so the next lookup decodes the fresh parameters.
-    pub fn enroll(&mut self, user_id: usize, model: &SequenceModel) {
+    /// so the next lookup decodes the fresh parameters. Returns the
+    /// publication version assigned to this model (monotone across the
+    /// whole registry).
+    pub fn enroll(&self, user_id: usize, model: &SequenceModel) -> u64 {
         let envelope = ModelEnvelope::encode(model);
-        self.enroll_envelope(user_id, envelope);
+        self.enroll_envelope(user_id, envelope)
     }
 
     /// Enrolls a user directly from uploaded envelope bytes (the on-device
-    /// personalization upload path).
-    pub fn enroll_envelope(&mut self, user_id: usize, envelope: ModelEnvelope) {
-        let sid = self.shard_of(user_id);
-        let shard = &mut self.shards[sid];
-        shard.cold.insert(user_id, envelope);
+    /// personalization upload path, and the training pipeline's hot-swap
+    /// publication channel). The swap is atomic with respect to lookups:
+    /// under the shard lock, the cold envelope is replaced and the stale
+    /// hot copy removed, so no subsequent `get` can observe an older
+    /// version. Returns the assigned publication version.
+    pub fn enroll_envelope(&self, user_id: usize, envelope: ModelEnvelope) -> u64 {
+        let mut shard = self.lock(&self.shards[self.shard_of(user_id)]);
+        // Allocate the version *under* the shard lock: two publishers
+        // racing on the same user then commit in version order, so the
+        // entry that wins the map insert is always the higher version.
+        let version = self.versions.fetch_add(1, Ordering::Relaxed) + 1;
+        shard.cold.insert(user_id, ColdEntry { envelope, version });
         shard.hot.remove(&user_id);
+        version
     }
 
     /// Bulk enrollment from an experiment [`Scenario`]: every
@@ -166,7 +221,7 @@ impl ShardedRegistry {
     /// layer applied *before* the model becomes service-visible (the
     /// general fallback stays unsharpened — it is provider-owned and holds
     /// no personal data). Returns the number of users enrolled.
-    pub fn enroll_scenario(&mut self, scenario: &Scenario, privacy: Option<PrivacyLayer>) -> usize {
+    pub fn enroll_scenario(&self, scenario: &Scenario, privacy: Option<PrivacyLayer>) -> usize {
         for user in &scenario.personal {
             let mut model = user.model.clone();
             if let Some(layer) = privacy {
@@ -179,29 +234,40 @@ impl ShardedRegistry {
 
     /// Whether a personalized model is enrolled for the user.
     pub fn is_enrolled(&self, user_id: usize) -> bool {
-        self.shards[self.shard_of(user_id)].cold.contains_key(&user_id)
+        self.lock(&self.shards[self.shard_of(user_id)]).cold.contains_key(&user_id)
+    }
+
+    /// The publication version of the user's current model, or `None` if
+    /// the user never enrolled.
+    pub fn version_of(&self, user_id: usize) -> Option<u64> {
+        self.lock(&self.shards[self.shard_of(user_id)]).cold.get(&user_id).map(|e| e.version)
     }
 
     /// Looks up the model that should answer a user's query, decoding cold
     /// bytes (and evicting the least-recently-used hot entry) on a miss.
     /// Unenrolled users get the shared general model.
     ///
+    /// The returned [`Arc`] stays valid even if the user's model is
+    /// re-published mid-request — the reader finishes on the version it
+    /// fetched, the next lookup observes the new one.
+    ///
     /// # Errors
     ///
     /// Returns [`ModelCodecError`] if the user's stored envelope is
     /// corrupt.
-    pub fn get(&mut self, user_id: usize) -> Result<(&SequenceModel, Lookup), ModelCodecError> {
-        let sid = self.shard_of(user_id);
+    pub fn get(&self, user_id: usize) -> Result<(Arc<SequenceModel>, Lookup), ModelCodecError> {
         let capacity = self.hot_capacity;
-        let shard = &mut self.shards[sid];
+        let mut shard = self.lock(&self.shards[self.shard_of(user_id)]);
         shard.tick += 1;
         let tick = shard.tick;
-        let lookup = if let Some(entry) = shard.hot.get_mut(&user_id) {
+        if let Some(entry) = shard.hot.get_mut(&user_id) {
             entry.last_used = tick;
+            let model = Arc::clone(&entry.model);
             shard.hits += 1;
-            Lookup::Hot
-        } else if let Some(envelope) = shard.cold.get(&user_id) {
-            let model = envelope.decode()?;
+            return Ok((model, Lookup::Hot));
+        }
+        if let Some(entry) = shard.cold.get(&user_id) {
+            let model = Arc::new(entry.envelope.decode()?);
             shard.misses += 1;
             if shard.hot.len() >= capacity {
                 let (&lru, _) = shard
@@ -212,20 +278,23 @@ impl ShardedRegistry {
                 shard.hot.remove(&lru);
                 shard.evictions += 1;
             }
-            shard.hot.insert(user_id, HotEntry { model, last_used: tick });
-            Lookup::Cold
-        } else {
-            self.fallbacks += 1;
-            return Ok((&self.general, Lookup::Fallback));
-        };
-        let model = &self.shards[sid].hot.get(&user_id).expect("hit or just inserted").model;
-        Ok((model, lookup))
+            shard.hot.insert(user_id, HotEntry { model: Arc::clone(&model), last_used: tick });
+            return Ok((model, Lookup::Cold));
+        }
+        drop(shard);
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        Ok((Arc::clone(&self.general), Lookup::Fallback))
     }
 
     /// Aggregate counters across all shards.
     pub fn stats(&self) -> RegistryStats {
-        let mut stats = RegistryStats { fallbacks: self.fallbacks, ..RegistryStats::default() };
+        let mut stats = RegistryStats {
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            publishes: self.versions.load(Ordering::Relaxed),
+            ..RegistryStats::default()
+        };
         for shard in &self.shards {
+            let shard = self.lock(shard);
             stats.hits += shard.hits;
             stats.misses += shard.misses;
             stats.evictions += shard.evictions;
@@ -253,7 +322,7 @@ mod tests {
 
     #[test]
     fn lookup_paths_hit_miss_fallback() {
-        let mut r = registry(4, 2);
+        let r = registry(4, 2);
         r.enroll(9, &model(9));
         assert!(r.is_enrolled(9));
 
@@ -272,9 +341,36 @@ mod tests {
     }
 
     #[test]
+    fn lookups_work_through_a_shared_reference() {
+        // The whole point of the interior-mutability refactor: concurrent
+        // serving threads and a publisher share one `&ShardedRegistry`.
+        let r = registry(2, 2);
+        r.enroll(1, &model(1));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        r.get(1).unwrap();
+                        r.get(99).unwrap();
+                    }
+                });
+            }
+            s.spawn(|| {
+                for round in 0..20 {
+                    r.enroll(1, &model(round));
+                }
+            });
+        });
+        let stats = r.stats();
+        assert_eq!(stats.hits + stats.misses, 200, "every personalized lookup is counted");
+        assert_eq!(stats.fallbacks, 200);
+        assert_eq!(stats.publishes, 21);
+    }
+
+    #[test]
     fn lru_evicts_least_recently_used() {
         // Users 0, 4, 8 all land on shard 0 of a 4-shard registry.
-        let mut r = registry(4, 2);
+        let r = registry(4, 2);
         for uid in [0usize, 4, 8] {
             r.enroll(uid, &model(uid as u64));
         }
@@ -293,7 +389,7 @@ mod tests {
 
     #[test]
     fn decoded_model_answers_like_the_original() {
-        let mut r = registry(2, 4);
+        let r = registry(2, 4);
         let mut m = model(7);
         // Deployed defenses (temperature + post-processing) must survive
         // the cold-storage round trip, not just the weights.
@@ -306,16 +402,32 @@ mod tests {
     }
 
     #[test]
-    fn re_enrollment_replaces_the_hot_copy() {
-        let mut r = registry(2, 4);
-        r.enroll(5, &model(1));
+    fn re_enrollment_replaces_the_hot_copy_and_bumps_the_version() {
+        let r = registry(2, 4);
+        let v1 = r.enroll(5, &model(1));
         r.get(5).unwrap();
         let replacement = model(2);
-        r.enroll(5, &replacement);
+        let v2 = r.enroll(5, &replacement);
+        assert!(v2 > v1, "publication versions are monotone");
+        assert_eq!(r.version_of(5), Some(v2));
+        assert_eq!(r.version_of(1234), None);
         let xs = vec![vec![0.1; 4]];
         let (served, kind) = r.get(5).unwrap();
         assert_eq!(kind, Lookup::Cold, "stale hot copy was dropped");
         assert_eq!(served.predict_proba(&xs), replacement.predict_proba(&xs));
+    }
+
+    #[test]
+    fn readers_keep_their_version_across_a_hot_swap() {
+        let r = registry(2, 4);
+        let old = model(3);
+        r.enroll(6, &old);
+        let (held, _) = r.get(6).unwrap();
+        r.enroll(6, &model(4)); // hot-swap while `held` is still in use
+        let xs = vec![vec![0.3; 4]; 2];
+        assert_eq!(held.predict_proba(&xs), old.predict_proba(&xs), "reader finishes on v1");
+        let (fresh, _) = r.get(6).unwrap();
+        assert_eq!(fresh.predict_proba(&xs), model(4).predict_proba(&xs), "next get sees v2");
     }
 
     #[test]

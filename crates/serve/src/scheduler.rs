@@ -159,15 +159,19 @@ pub struct Completion {
 }
 
 /// Executes batches against a registry on a simulated compute tier.
+///
+/// The engine only needs `&ShardedRegistry`: registry bookkeeping is
+/// interior-mutable, so many engines (and the training pipeline's
+/// publisher) can share one registry concurrently.
 #[derive(Debug)]
 pub struct ServeEngine<'a> {
-    registry: &'a mut ShardedRegistry,
+    registry: &'a ShardedRegistry,
     tier: ComputeTier,
 }
 
 impl<'a> ServeEngine<'a> {
     /// Creates an engine over the registry, attributing compute to `tier`.
-    pub fn new(registry: &'a mut ShardedRegistry, tier: ComputeTier) -> Self {
+    pub fn new(registry: &'a ShardedRegistry, tier: ComputeTier) -> Self {
         Self { registry, tier }
     }
 
@@ -181,7 +185,7 @@ impl<'a> ServeEngine<'a> {
     /// # Errors
     ///
     /// Returns [`ModelCodecError`] if a stored envelope fails to decode.
-    pub fn execute(&mut self, batch: &Batch) -> Result<Vec<Completion>, ModelCodecError> {
+    pub fn execute(&self, batch: &Batch) -> Result<Vec<Completion>, ModelCodecError> {
         // Grouping key: Some(user) for enrolled users, None for the shared
         // fallback — distinct unenrolled users all resolve to the same
         // general model, so their requests fuse into one batch row set.
@@ -198,7 +202,7 @@ impl<'a> ServeEngine<'a> {
             }
         }
 
-        let registry = &mut *self.registry;
+        let registry = self.registry;
         let (answered, usage) = measure(self.tier, || {
             let mut answered: Vec<(usize, Step, Lookup)> = Vec::with_capacity(batch.requests.len());
             for (user_id, members) in &groups {
@@ -291,7 +295,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let general = pelican_nn::SequenceModel::single_lstm(4, 6, 3, 0.0, &mut rng);
         let personalized = pelican_nn::SequenceModel::single_lstm(4, 6, 3, 0.0, &mut rng);
-        let mut registry =
+        let registry =
             ShardedRegistry::new(general.clone(), RegistryConfig { shards: 2, hot_capacity: 4 });
         registry.enroll(2, &personalized);
 
@@ -300,7 +304,7 @@ mod tests {
         requests.push(request(7, 10, 4)); // second distinct unenrolled user
         let batch = Batch { shard: 0, dispatched_us: 10, requests };
 
-        let mut engine = ServeEngine::new(&mut registry, ComputeTier::Cloud);
+        let engine = ServeEngine::new(&registry, ComputeTier::Cloud);
         let completions = engine.execute(&batch).expect("envelopes decode");
         assert_eq!(completions.len(), 8);
         for c in &completions {

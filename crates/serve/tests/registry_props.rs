@@ -1,0 +1,77 @@
+//! Property test: registry LRU and version invariants under arbitrary
+//! enroll/get/publish interleavings.
+//!
+//! The training pipeline hot-swaps envelopes into the registry while the
+//! serving path reads it, so two invariants must hold for *every*
+//! interleaving, not just the ones the unit tests happen to exercise:
+//! the bounded hot caches never exceed their capacity, and a lookup
+//! always observes the user's highest published version (stale hot
+//! copies must never outlive a publication).
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use pelican_nn::SequenceModel;
+use pelican_serve::{Lookup, RegistryConfig, ShardedRegistry};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn model(seed: u64) -> SequenceModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    SequenceModel::single_lstm(3, 4, 3, 0.0, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lru_stays_bounded_and_gets_observe_the_latest_version(
+        shards in 1usize..4,
+        hot_capacity in 1usize..3,
+        ops in prop::collection::vec((0u8..2, 0usize..12), 1..60),
+    ) {
+        let registry = ShardedRegistry::new(model(0), RegistryConfig { shards, hot_capacity });
+        let probe = vec![vec![0.2f32; 3]; 2];
+        // user -> (version, expected answer of the latest published model)
+        let mut published: HashMap<usize, (u64, Vec<f32>)> = HashMap::new();
+        let mut last_version = 0u64;
+
+        for (step, &(op, uid)) in ops.iter().enumerate() {
+            match op {
+                // Publish: a fresh model for `uid`, distinct per step.
+                0 => {
+                    let m = model(1 + step as u64);
+                    let version = registry.enroll(uid, &m);
+                    prop_assert!(version > last_version, "versions are strictly monotone");
+                    last_version = version;
+                    published.insert(uid, (version, m.predict_proba(&probe)));
+                }
+                // Get: must serve the latest published version (or the
+                // general fallback for never-published users).
+                _ => {
+                    let (served, lookup) = registry.get(uid).expect("envelopes decode");
+                    match published.get(&uid) {
+                        Some((version, expected)) => {
+                            prop_assert_ne!(lookup, Lookup::Fallback);
+                            prop_assert_eq!(registry.version_of(uid), Some(*version));
+                            prop_assert_eq!(&served.predict_proba(&probe), expected,
+                                "get must observe the highest published version");
+                        }
+                        None => {
+                            prop_assert_eq!(lookup, Lookup::Fallback);
+                            prop_assert_eq!(registry.version_of(uid), None);
+                        }
+                    }
+                }
+            }
+
+            let stats = registry.stats();
+            prop_assert!(stats.hot_models <= shards * hot_capacity,
+                "hot cache exceeded capacity: {} > {} * {}",
+                stats.hot_models, shards, hot_capacity);
+            prop_assert_eq!(stats.cold_models, published.len());
+            prop_assert_eq!(stats.publishes, last_version);
+        }
+    }
+}

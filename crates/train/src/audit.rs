@@ -1,0 +1,368 @@
+//! The privacy-audit gate: no model reaches the serving registry without
+//! facing the attack suite first.
+//!
+//! The paper evaluates model-inversion attacks *after* deployment; a
+//! production fleet cannot afford that ordering. The gate turns the
+//! [`pelican_attacks`] evaluation into a release check: every candidate
+//! model is attacked with the provider's own red-team configuration
+//! (adversary, attack method, prior), and if the measured leakage — attack
+//! accuracy at the audit's top-k cutoff — exceeds the provider's budget,
+//! the gate **escalates the defense** (climbing a ladder of
+//! [`DefenseKind`] rungs, e.g. ever-sharper privacy temperatures) and
+//! re-audits before release. A model leaves the gate in exactly one of
+//! three states: passed as-is, escalated until compliant, or published
+//! with the strongest rung *flagged* as still-leaking
+//! ([`GateVerdict::Exhausted`]) so operators can quarantine it.
+//!
+//! Audits are deterministic: probes, priors and instances all derive from
+//! the gate's seed, so the same candidate always receives the same
+//! verdict — bit-identical across the trainer pool's worker counts.
+
+use pelican::DefenseKind;
+use pelican_attacks::prior::random_probes;
+use pelican_attacks::{
+    evaluate_attack, interest_locations, Adversary, AttackEvaluation, AttackMethod, Instance,
+    Prior, PriorKind, TimeBased,
+};
+use pelican_mobility::{FeatureSpace, Session};
+use pelican_nn::SequenceModel;
+
+/// Everything the gate needs to know about the user being audited.
+///
+/// Mirrors the threat model of §III-B: the provider red-teams with the
+/// user's *training-time* marginals as the prior and attacks held-out
+/// triples the model never saw.
+#[derive(Debug, Clone)]
+pub struct AuditSubject {
+    /// The user's training sessions (prior marginals come from these).
+    pub history: Vec<Session>,
+    /// Held-out session triples; attack instances are built from them.
+    pub holdout: Vec<[Session; 3]>,
+}
+
+/// Red-team configuration of the audit gate.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Which timesteps the simulated adversary observes (Table I).
+    pub adversary: Adversary,
+    /// Attack method run against each candidate.
+    pub method: AttackMethod,
+    /// Prior handed to the attack.
+    pub prior: PriorKind,
+    /// Top-k grid the evaluation scores.
+    pub ks: Vec<usize>,
+    /// The cutoff in `ks` the leakage threshold applies to.
+    pub audit_k: usize,
+    /// Attack instances sampled per audit (cost knob).
+    pub max_instances: usize,
+    /// Maximum tolerated attack accuracy at `audit_k` (fraction in
+    /// `[0, 1]`). Above this, the gate escalates.
+    pub max_leakage: f64,
+    /// Defense every candidate carries into its first audit.
+    pub base_defense: DefenseKind,
+    /// Escalation ladder, weakest rung first. Rungs are absolute
+    /// deployments, not increments: each one replaces the previous.
+    pub ladder: Vec<DefenseKind>,
+    /// Random probes used for the locations-of-interest scan.
+    pub probe_count: usize,
+    /// Confidence threshold of the locations-of-interest scan.
+    pub interest_threshold: f32,
+    /// Seed for probe generation and prediction-based priors.
+    pub seed: u64,
+}
+
+impl Default for AuditConfig {
+    /// Audits with the paper's cheapest strong attack (time-based, A1,
+    /// true prior) and escalates through the privacy-temperature sweep of
+    /// Fig. 5b. The budget applies at top-3: that is where the time-based
+    /// attack separates defended from undefended models (top-1 is near
+    /// the noise floor at small scales, Fig. 2a).
+    fn default() -> Self {
+        Self {
+            adversary: Adversary::A1,
+            method: AttackMethod::TimeBased(TimeBased::default()),
+            prior: PriorKind::True,
+            ks: vec![1, 3],
+            audit_k: 3,
+            max_instances: 6,
+            max_leakage: 0.35,
+            base_defense: DefenseKind::None,
+            ladder: vec![
+                DefenseKind::Temperature { temperature: 1e-1 },
+                DefenseKind::Temperature { temperature: 1e-3 },
+                DefenseKind::Temperature { temperature: 1e-5 },
+            ],
+            probe_count: 24,
+            interest_threshold: 0.01,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// How a candidate left the gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateVerdict {
+    /// Leakage was within budget under the base defense.
+    Passed,
+    /// One or more ladder rungs were applied; the final audit passed.
+    Escalated,
+    /// Even the strongest available rung (or the base defense, if the
+    /// ladder is empty) leaked above budget; the model carries it anyway
+    /// and is flagged for the operator.
+    Exhausted,
+}
+
+impl std::fmt::Display for GateVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateVerdict::Passed => write!(f, "passed"),
+            GateVerdict::Escalated => write!(f, "escalated"),
+            GateVerdict::Exhausted => write!(f, "exhausted"),
+        }
+    }
+}
+
+/// The gate's full record for one candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// Final state of the candidate.
+    pub verdict: GateVerdict,
+    /// Defense deployed on the published model.
+    pub defense: DefenseKind,
+    /// Ladder rungs climbed (0 when the base defense sufficed).
+    pub rungs_climbed: usize,
+    /// Attack accuracy at `audit_k` under the base defense.
+    pub initial_leakage: f64,
+    /// Attack accuracy at `audit_k` under the published defense.
+    pub final_leakage: f64,
+    /// Audits run (1 + re-audits after escalations).
+    pub audits: usize,
+    /// Total black-box model queries the audits spent.
+    pub queries: u64,
+}
+
+impl GateOutcome {
+    /// Whether the published model's leakage is within the gate's budget.
+    pub fn within_budget(&self, config: &AuditConfig) -> bool {
+        self.final_leakage <= config.max_leakage
+    }
+}
+
+/// Audits candidate models and escalates their defenses until the leakage
+/// budget holds (or the ladder runs out).
+#[derive(Debug, Clone)]
+pub struct AuditGate {
+    config: AuditConfig,
+}
+
+impl AuditGate {
+    /// Creates a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `audit_k` is missing from `ks` or `max_leakage` is
+    /// outside `[0, 1]`.
+    pub fn new(config: AuditConfig) -> Self {
+        assert!(
+            config.ks.contains(&config.audit_k),
+            "audit_k={} must be part of the evaluated grid {:?}",
+            config.audit_k,
+            config.ks
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.max_leakage),
+            "max_leakage must be a fraction, got {}",
+            config.max_leakage
+        );
+        Self { config }
+    }
+
+    /// The gate's red-team configuration.
+    pub fn config(&self) -> &AuditConfig {
+        &self.config
+    }
+
+    /// Runs one audit: attacks the candidate as-is and returns the
+    /// aggregate evaluation. A subject with no held-out triples yields an
+    /// empty evaluation (leakage 0 — nothing to attack with).
+    pub fn audit(
+        &self,
+        model: &SequenceModel,
+        space: &FeatureSpace,
+        subject: &AuditSubject,
+    ) -> AttackEvaluation {
+        let c = &self.config;
+        let instances: Vec<Instance> = subject
+            .holdout
+            .iter()
+            .take(c.max_instances)
+            .map(|t| c.adversary.instance(t, space.location_of(&t[2])))
+            .collect();
+        let prior = Prior::of_kind(c.prior, space, &subject.history, model, c.seed ^ 0x9d);
+        let probes = random_probes(space, c.probe_count, c.seed ^ 0x1f);
+        let interest = interest_locations(model, &probes, c.interest_threshold);
+        let mut attacked = model.clone();
+        evaluate_attack(&c.method, &mut attacked, space, &prior, &interest, &instances, &c.ks)
+    }
+
+    /// The full gate: installs the base defense, audits, escalates along
+    /// the ladder while leakage exceeds the budget, and returns the
+    /// release-ready model (defense installed) with the gate's record.
+    pub fn admit(
+        &self,
+        mut candidate: SequenceModel,
+        space: &FeatureSpace,
+        subject: &AuditSubject,
+    ) -> (SequenceModel, GateOutcome) {
+        let c = &self.config;
+        c.base_defense.apply(&mut candidate);
+        let mut defense = c.base_defense;
+        let mut eval = self.audit(&candidate, space, subject);
+        let initial_leakage = eval.accuracy(c.audit_k);
+        let mut final_leakage = initial_leakage;
+        let mut audits = 1;
+        let mut queries = eval.queries;
+        let mut rungs_climbed = 0;
+
+        while final_leakage > c.max_leakage && rungs_climbed < c.ladder.len() {
+            defense = c.ladder[rungs_climbed];
+            rungs_climbed += 1;
+            defense.apply(&mut candidate);
+            eval = self.audit(&candidate, space, subject);
+            final_leakage = eval.accuracy(c.audit_k);
+            audits += 1;
+            queries += eval.queries;
+        }
+
+        // Verdicts follow the *leakage*, not the rung count: with an
+        // empty ladder an over-budget model must still come out flagged,
+        // never "passed".
+        let verdict = if final_leakage > c.max_leakage {
+            GateVerdict::Exhausted
+        } else if rungs_climbed == 0 {
+            GateVerdict::Passed
+        } else {
+            GateVerdict::Escalated
+        };
+        let outcome = GateOutcome {
+            verdict,
+            defense,
+            rungs_climbed,
+            initial_leakage,
+            final_leakage,
+            audits,
+            queries,
+        };
+        (candidate, outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelican_mobility::SpatialLevel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> FeatureSpace {
+        FeatureSpace::new(SpatialLevel::Building, 6)
+    }
+
+    fn subject(space: &FeatureSpace, n: usize) -> AuditSubject {
+        let mk = |b: usize, e: u32| Session {
+            user: 0,
+            building: b % space.n_locations,
+            ap: b % space.n_locations,
+            day: 1,
+            entry_minutes: e,
+            duration_minutes: 45,
+        };
+        let holdout: Vec<[Session; 3]> =
+            (0..n).map(|i| [mk(i, 500), mk(i + 1, 550), mk(i + 2, 600)]).collect();
+        let history = holdout.iter().flat_map(|t| t.iter().copied()).collect();
+        AuditSubject { history, holdout }
+    }
+
+    fn model(seed: u64, space: &FeatureSpace) -> SequenceModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SequenceModel::general_lstm(space.dim(), 8, space.n_locations, 0.0, &mut rng)
+    }
+
+    #[test]
+    fn permissive_budget_passes_without_escalation() {
+        let space = space();
+        let gate = AuditGate::new(AuditConfig { max_leakage: 1.0, ..AuditConfig::default() });
+        let (_, outcome) = gate.admit(model(1, &space), &space, &subject(&space, 4));
+        assert_eq!(outcome.verdict, GateVerdict::Passed);
+        assert_eq!(outcome.rungs_climbed, 0);
+        assert_eq!(outcome.defense, DefenseKind::None);
+        assert_eq!(outcome.audits, 1);
+        assert!(outcome.queries > 0);
+        assert!(outcome.within_budget(gate.config()));
+    }
+
+    #[test]
+    fn impossible_budget_exhausts_the_ladder() {
+        let space = space();
+        // Audit at k = n_locations: the truth is always inside the full
+        // ranking, so leakage is exactly 1.0 under every defense and a
+        // zero budget must climb the whole ladder and come out flagged.
+        let config =
+            AuditConfig { max_leakage: 0.0, ks: vec![1, 6], audit_k: 6, ..AuditConfig::default() };
+        let ladder_len = config.ladder.len();
+        let gate = AuditGate::new(config);
+        let (published, outcome) = gate.admit(model(2, &space), &space, &subject(&space, 4));
+        assert_eq!(outcome.rungs_climbed, ladder_len, "every rung was tried");
+        assert_eq!(outcome.audits, ladder_len + 1);
+        assert_eq!(outcome.verdict, GateVerdict::Exhausted);
+        assert_eq!(outcome.defense, DefenseKind::Temperature { temperature: 1e-5 });
+        assert_eq!(published.temperature(), 1e-5, "strongest rung stays deployed");
+    }
+
+    #[test]
+    fn empty_ladder_over_budget_is_exhausted_not_passed() {
+        let space = space();
+        // No rungs to climb: an over-budget model must still come out
+        // flagged (leakage decides the verdict, not the rung count).
+        let gate = AuditGate::new(AuditConfig {
+            max_leakage: 0.0,
+            ks: vec![1, 6],
+            audit_k: 6,
+            ladder: Vec::new(),
+            ..AuditConfig::default()
+        });
+        let (_, outcome) = gate.admit(model(9, &space), &space, &subject(&space, 4));
+        assert_eq!(outcome.verdict, GateVerdict::Exhausted);
+        assert_eq!(outcome.rungs_climbed, 0);
+        assert_eq!(outcome.defense, DefenseKind::None, "base defense stays deployed");
+        assert!(!outcome.within_budget(gate.config()));
+    }
+
+    #[test]
+    fn verdicts_are_deterministic() {
+        let space = space();
+        let gate = AuditGate::new(AuditConfig::default());
+        let s = subject(&space, 5);
+        let (m1, o1) = gate.admit(model(3, &space), &space, &s);
+        let (m2, o2) = gate.admit(model(3, &space), &space, &s);
+        assert_eq!(o1, o2);
+        let xs = vec![vec![0.2; space.dim()]; 2];
+        assert_eq!(m1.predict_proba(&xs), m2.predict_proba(&xs));
+    }
+
+    #[test]
+    fn empty_holdout_passes_trivially() {
+        let space = space();
+        let gate = AuditGate::new(AuditConfig::default());
+        let empty = AuditSubject { history: subject(&space, 2).history, holdout: Vec::new() };
+        let (_, outcome) = gate.admit(model(4, &space), &space, &empty);
+        assert_eq!(outcome.verdict, GateVerdict::Passed);
+        assert_eq!(outcome.final_leakage, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be part of the evaluated grid")]
+    fn audit_k_must_be_evaluated() {
+        let _ = AuditGate::new(AuditConfig { audit_k: 7, ..AuditConfig::default() });
+    }
+}

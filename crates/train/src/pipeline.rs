@@ -1,0 +1,295 @@
+//! The fleet-personalization pipeline: trainer pool → audit gate →
+//! hot-swap publication.
+//!
+//! [`FleetTrainer::run`] is the one deterministic-output function the
+//! example, the `train-report` experiment and the `fleet_training` bench
+//! all drive. Workers steal per-user jobs from the pool, personalize (or
+//! warm-start) on the simulated device tier, push each candidate through
+//! the privacy-audit gate, and send the release-ready envelope down an
+//! [`mpsc`] publication channel. The publisher drains the channel on the
+//! calling thread and hot-swaps envelopes into the [`ShardedRegistry`]
+//! *while serving continues* — registry lookups go through `&self`, so a
+//! serving engine can keep answering queries against the same registry
+//! for the whole run.
+//!
+//! Model weights, audit verdicts and published envelopes are bit-identical
+//! for any worker count (per-user seeds come from [`crate::pool::user_seed`],
+//! never from scheduling order). Publication *versions* and the wall-clock
+//! numbers in the report are the only schedule-dependent outputs.
+
+use std::time::Instant;
+
+use pelican::platform::NetworkLink;
+use pelican::{DefenseKind, DevicePersonalizer, PersonalizationConfig, PersonalizationMethod};
+use pelican_mobility::FeatureSpace;
+use pelican_nn::{FitReport, ModelEnvelope, SequenceModel};
+use pelican_serve::ShardedRegistry;
+use pelican_tensor::FlopGuard;
+
+use crate::audit::{AuditConfig, AuditGate, GateOutcome};
+use crate::job::{JobKind, TrainJob};
+use crate::pool::{user_seed, TrainerPool};
+use crate::report::{JobOutcome, TrainReport};
+
+/// Pipeline knobs.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Trainer-pool width.
+    pub workers: usize,
+    /// Base seed every per-user seed derives from.
+    pub base_seed: u64,
+    /// Personalization method for fresh jobs.
+    pub method: PersonalizationMethod,
+    /// Device-side training hyperparameters. The `seed` and
+    /// `train.shuffle_seed` fields are overridden per user.
+    pub personalization: PersonalizationConfig,
+    /// The device↔cloud link paid for each general-model download.
+    pub link: NetworkLink,
+    /// Red-team configuration of the audit gate.
+    pub audit: AuditConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            base_seed: 42,
+            method: PersonalizationMethod::TlFeatureExtract,
+            personalization: PersonalizationConfig::default(),
+            link: NetworkLink::wifi(),
+            audit: AuditConfig::default(),
+        }
+    }
+}
+
+/// What a worker sends down the publication channel for one finished job.
+struct Candidate {
+    index: usize,
+    user_id: usize,
+    envelope: ModelEnvelope,
+    gate: GateOutcome,
+    fit: FitReport,
+    warm: bool,
+    started: Instant,
+}
+
+/// The fleet-training pipeline.
+#[derive(Debug, Clone)]
+pub struct FleetTrainer {
+    config: PipelineConfig,
+    gate: AuditGate,
+}
+
+impl FleetTrainer {
+    /// Creates a pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers` is zero or the audit configuration is
+    /// inconsistent (see [`AuditGate::new`]).
+    pub fn new(config: PipelineConfig) -> Self {
+        assert!(config.workers > 0, "pipeline needs at least one worker");
+        let gate = AuditGate::new(config.audit.clone());
+        Self { config, gate }
+    }
+
+    /// The pipeline's configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// A personalizer with this user's derived seeds (stream 0 for layer
+    /// init, stream 1 for epoch shuffling).
+    fn personalizer_for(&self, user_id: usize) -> DevicePersonalizer {
+        let mut cfg = self.config.personalization.clone();
+        cfg.seed = user_seed(self.config.base_seed, user_id as u64, 0);
+        cfg.train = cfg.train.reseeded(user_seed(self.config.base_seed, user_id as u64, 1));
+        DevicePersonalizer::new(cfg, self.config.link)
+    }
+
+    /// Trains one candidate model (fresh personalization or warm-start
+    /// update). Returns the undefended candidate and its fit report.
+    fn train_candidate(
+        &self,
+        general: &ModelEnvelope,
+        job: &TrainJob,
+    ) -> (SequenceModel, FitReport) {
+        let personalizer = self.personalizer_for(job.user_id);
+        match &job.kind {
+            JobKind::Fresh => {
+                let outcome = personalizer
+                    .personalize(general, &job.train, self.config.method)
+                    .expect("freshly encoded general envelope always decodes");
+                (outcome.model, outcome.fit)
+            }
+            JobKind::WarmStart { envelope } => {
+                let mut model = envelope.decode().expect("published envelope always decodes");
+                // The deployed defense is serving-time state, not training
+                // state: strip it so warm training sees clean logits; the
+                // gate re-decides the defense from scratch below.
+                DefenseKind::None.apply(&mut model);
+                let (fit, _usage) = personalizer.update(&mut model, &job.train);
+                (model, fit)
+            }
+        }
+    }
+
+    /// Runs the pipeline over a cohort: personalizes every job in
+    /// parallel, audits each candidate, and publishes audited envelopes
+    /// into `registry` as they clear the gate. Returns the per-job
+    /// outcomes (job order) plus throughput/latency/audit aggregates.
+    pub fn run(
+        &self,
+        general: &SequenceModel,
+        space: &FeatureSpace,
+        jobs: &[TrainJob],
+        registry: &ShardedRegistry,
+    ) -> TrainReport {
+        let wall = Instant::now();
+        let flop_guard = FlopGuard::start();
+        let general_envelope = ModelEnvelope::encode(general);
+
+        let mut outcomes: Vec<Option<JobOutcome>> = jobs.iter().map(|_| None).collect();
+        let pool = TrainerPool::new(self.config.workers);
+        pool.run_streaming(
+            jobs,
+            // Worker side: steal a job, train, audit, hand the audited
+            // envelope to the publication channel.
+            |index, job| {
+                let started = Instant::now();
+                let (candidate, fit) = self.train_candidate(&general_envelope, job);
+                let (published, gate) = self.gate.admit(candidate, space, &job.subject);
+                Candidate {
+                    index,
+                    user_id: job.user_id,
+                    envelope: ModelEnvelope::encode(&published),
+                    gate,
+                    fit,
+                    warm: job.is_warm(),
+                    started,
+                }
+            },
+            // Publisher side, on the calling thread: hot-swap each
+            // audited envelope the moment it arrives, concurrently with
+            // the still-training workers.
+            |c| {
+                let Candidate { index, user_id, envelope, gate, fit, warm, started } = c;
+                let version = registry.enroll_envelope(user_id, envelope);
+                let outcome = JobOutcome {
+                    user_id,
+                    version,
+                    warm,
+                    gate,
+                    fit,
+                    enroll_latency: started.elapsed(),
+                };
+                outcomes[index] = Some(outcome);
+            },
+        );
+
+        TrainReport {
+            workers: self.config.workers,
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("every job was trained, audited and published"))
+                .collect(),
+            wall: wall.elapsed(),
+            flops: flop_guard.stop(),
+        }
+    }
+}
+
+/// Convenience wrapper: personalize, audit and publish a cohort, then
+/// report. Equivalent to `FleetTrainer::new(config).run(..)`.
+pub fn run_pipeline(
+    config: PipelineConfig,
+    general: &SequenceModel,
+    space: &FeatureSpace,
+    jobs: &[TrainJob],
+    registry: &ShardedRegistry,
+) -> TrainReport {
+    FleetTrainer::new(config).run(general, space, jobs, registry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::cohort_jobs;
+    use pelican_mobility::{CampusConfig, DatasetBuilder, Scale, SpatialLevel};
+    use pelican_nn::TrainConfig;
+    use pelican_serve::RegistryConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_setting() -> (SequenceModel, pelican_mobility::MobilityDataset, Vec<TrainJob>) {
+        let dataset = DatasetBuilder::new(CampusConfig::for_scale(Scale::Tiny), 13)
+            .build(SpatialLevel::Building);
+        let mut rng = StdRng::seed_from_u64(13);
+        let general = SequenceModel::general_lstm(
+            dataset.space.dim(),
+            12,
+            dataset.n_locations(),
+            0.1,
+            &mut rng,
+        );
+        let n = dataset.users.len();
+        let jobs = cohort_jobs(&dataset, (n - 2)..n, 0.8);
+        (general, dataset, jobs)
+    }
+
+    fn fast_config(workers: usize) -> PipelineConfig {
+        PipelineConfig {
+            workers,
+            personalization: PersonalizationConfig {
+                train: TrainConfig { epochs: 2, ..TrainConfig::default() },
+                hidden_dim: 12,
+                ..PersonalizationConfig::default()
+            },
+            audit: AuditConfig { max_instances: 3, ..AuditConfig::default() },
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_publishes_every_job() {
+        let (general, dataset, jobs) = tiny_setting();
+        let registry = ShardedRegistry::new(general.clone(), RegistryConfig::default());
+        let report = run_pipeline(fast_config(2), &general, &dataset.space, &jobs, &registry);
+        assert_eq!(report.outcomes.len(), jobs.len());
+        let stats = registry.stats();
+        assert_eq!(stats.cold_models, jobs.len());
+        assert_eq!(stats.publishes, jobs.len() as u64);
+        for (job, outcome) in jobs.iter().zip(&report.outcomes) {
+            assert_eq!(outcome.user_id, job.user_id);
+            assert!(registry.is_enrolled(job.user_id));
+            assert_eq!(registry.version_of(job.user_id), Some(outcome.version));
+            assert!(outcome.fit.steps > 0);
+        }
+        assert!(report.flops > 0);
+    }
+
+    #[test]
+    fn warm_start_republishes_with_a_higher_version() {
+        let (general, dataset, jobs) = tiny_setting();
+        let registry = ShardedRegistry::new(general.clone(), RegistryConfig::default());
+        let trainer = FleetTrainer::new(fast_config(2));
+        let first = trainer.run(&general, &dataset.space, &jobs, &registry);
+
+        let warm_jobs: Vec<TrainJob> = jobs
+            .iter()
+            .map(|j| {
+                let (_, lookup) = registry.get(j.user_id).unwrap();
+                assert_ne!(lookup, pelican_serve::Lookup::Fallback);
+                let decoded = registry.get(j.user_id).unwrap().0;
+                j.clone().into_warm(ModelEnvelope::encode(&decoded))
+            })
+            .collect();
+        let second = trainer.run(&general, &dataset.space, &warm_jobs, &registry);
+        for (a, b) in first.outcomes.iter().zip(&second.outcomes) {
+            assert!(!a.warm && b.warm);
+            assert!(b.version > a.version, "hot-swap bumps the publication version");
+            assert_eq!(registry.version_of(b.user_id), Some(b.version));
+        }
+        assert_eq!(registry.stats().cold_models, jobs.len(), "updates replace, not add");
+    }
+}

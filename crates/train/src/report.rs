@@ -1,0 +1,191 @@
+//! Pipeline reporting: throughput, audit outcomes, enroll latency.
+//!
+//! Model weights and audit verdicts in a report are deterministic; the
+//! wall-clock fields (`wall`, `enroll_latency`, and everything derived
+//! from them) measure the *host* machine, since parallel speedup is
+//! exactly the thing simulated time cannot show.
+
+use std::time::Duration;
+
+use pelican_nn::FitReport;
+
+use crate::audit::{GateOutcome, GateVerdict};
+
+/// One published model's record.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The personalized user.
+    pub user_id: usize,
+    /// Publication version the registry assigned (schedule-dependent).
+    pub version: u64,
+    /// Whether this was a warm-start update.
+    pub warm: bool,
+    /// The audit gate's record (deterministic).
+    pub gate: GateOutcome,
+    /// Fit report of the on-device training (deterministic).
+    pub fit: FitReport,
+    /// Host time from job steal to registry publication.
+    pub enroll_latency: Duration,
+}
+
+/// Aggregate result of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Trainer-pool width of the run.
+    pub workers: usize,
+    /// Per-job outcomes, in job order regardless of completion order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Host wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Total floating-point operations spent (training + audits), summed
+    /// across all workers.
+    pub flops: u64,
+}
+
+impl TrainReport {
+    /// Models published per host second.
+    pub fn models_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.outcomes.len() as f64 / secs
+        }
+    }
+
+    /// Published models whose first audit already passed.
+    pub fn passed(&self) -> usize {
+        self.count(GateVerdict::Passed)
+    }
+
+    /// Published models that needed at least one escalation rung.
+    pub fn escalated(&self) -> usize {
+        self.count(GateVerdict::Escalated)
+    }
+
+    /// Published models still above budget at the top of the ladder
+    /// (flagged for the operator).
+    pub fn exhausted(&self) -> usize {
+        self.count(GateVerdict::Exhausted)
+    }
+
+    /// Warm-start updates in this run.
+    pub fn warm_starts(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.warm).count()
+    }
+
+    /// Total black-box queries the audits spent.
+    pub fn audit_queries(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.gate.queries).sum()
+    }
+
+    /// Median end-to-end enroll latency (job steal → publication).
+    pub fn enroll_latency_p50(&self) -> Duration {
+        self.latency_percentile(0.50)
+    }
+
+    /// 95th-percentile end-to-end enroll latency.
+    pub fn enroll_latency_p95(&self) -> Duration {
+        self.latency_percentile(0.95)
+    }
+
+    fn count(&self, verdict: GateVerdict) -> usize {
+        self.outcomes.iter().filter(|o| o.gate.verdict == verdict).count()
+    }
+
+    /// Nearest-rank percentile over the enroll latencies (zero if empty).
+    fn latency_percentile(&self, q: f64) -> Duration {
+        let mut sorted: Vec<Duration> = self.outcomes.iter().map(|o| o.enroll_latency).collect();
+        sorted.sort_unstable();
+        if sorted.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Multi-line human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} models published by {} workers in {:.2?} ({:.2} models/s, {:.1}e9 flops)\n",
+            self.outcomes.len(),
+            self.workers,
+            self.wall,
+            self.models_per_sec(),
+            self.flops as f64 / 1e9,
+        ));
+        out.push_str(&format!(
+            "audit gate  {} passed, {} escalated, {} exhausted ({} queries)\n",
+            self.passed(),
+            self.escalated(),
+            self.exhausted(),
+            self.audit_queries(),
+        ));
+        out.push_str(&format!(
+            "enroll      p50 {:.2?}  p95 {:.2?}  ({} warm starts)\n",
+            self.enroll_latency_p50(),
+            self.enroll_latency_p95(),
+            self.warm_starts(),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelican::DefenseKind;
+
+    fn outcome(verdict: GateVerdict, latency_ms: u64, warm: bool) -> JobOutcome {
+        JobOutcome {
+            user_id: 0,
+            version: 1,
+            warm,
+            gate: GateOutcome {
+                verdict,
+                defense: DefenseKind::None,
+                rungs_climbed: 0,
+                initial_leakage: 0.5,
+                final_leakage: 0.2,
+                audits: 1,
+                queries: 10,
+            },
+            fit: FitReport { epoch_losses: vec![1.0], steps: 1, samples_per_epoch: 1 },
+            enroll_latency: Duration::from_millis(latency_ms),
+        }
+    }
+
+    #[test]
+    fn report_aggregates_verdicts_and_latency() {
+        let report = TrainReport {
+            workers: 4,
+            outcomes: vec![
+                outcome(GateVerdict::Passed, 10, false),
+                outcome(GateVerdict::Escalated, 20, false),
+                outcome(GateVerdict::Escalated, 30, true),
+                outcome(GateVerdict::Exhausted, 40, false),
+            ],
+            wall: Duration::from_secs(2),
+            flops: 4_000_000_000,
+        };
+        assert_eq!((report.passed(), report.escalated(), report.exhausted()), (1, 2, 1));
+        assert_eq!(report.warm_starts(), 1);
+        assert_eq!(report.audit_queries(), 40);
+        assert_eq!(report.models_per_sec(), 2.0);
+        assert_eq!(report.enroll_latency_p50(), Duration::from_millis(20));
+        assert_eq!(report.enroll_latency_p95(), Duration::from_millis(40));
+        let rendered = report.render();
+        assert!(rendered.contains("1 passed, 2 escalated, 1 exhausted"));
+        assert!(rendered.contains("1 warm starts"));
+    }
+
+    #[test]
+    fn empty_report_is_well_defined() {
+        let report =
+            TrainReport { workers: 1, outcomes: Vec::new(), wall: Duration::ZERO, flops: 0 };
+        assert_eq!(report.models_per_sec(), 0.0);
+        assert_eq!(report.enroll_latency_p50(), Duration::ZERO);
+        assert!(!report.render().is_empty());
+    }
+}

@@ -52,7 +52,7 @@ fn main() {
     println!("{}", outcome.report.render());
 
     // A tighter cache shows the cold path under pressure.
-    let mut registry = ShardedRegistry::new(scenario.general.clone(), config.registry);
+    let registry = ShardedRegistry::new(scenario.general.clone(), config.registry);
     registry.enroll_scenario(&scenario, config.privacy);
     println!(
         "registry      : {} shards, {} cold envelopes, per-shard hot capacity {}",

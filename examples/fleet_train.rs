@@ -1,0 +1,124 @@
+//! Fleet training: personalize, audit, publish and query a small cohort.
+//!
+//! Drives the full `pelican-train` pipeline end to end: a trainer pool
+//! personalizes every cohort user in parallel (bit-identical to
+//! sequential), the privacy-audit gate attacks each candidate and
+//! escalates its defense until the leakage budget holds, audited
+//! envelopes hot-swap into the serving registry, and a second warm-start
+//! round re-trains the fleet from its published models while queries keep
+//! flowing — Fig. 4 steps 2–4 at fleet scale.
+//!
+//! Run with: `cargo run --release --example fleet_train`
+
+use pelican::workbench::{Scenario, ScenarioSizing};
+use pelican::PersonalizationConfig;
+use pelican_mobility::{Scale, SpatialLevel};
+use pelican_nn::{ModelEnvelope, TrainConfig};
+use pelican_serve::{Lookup, RegistryConfig, ShardedRegistry};
+use pelican_train::{cohort_jobs, AuditConfig, FleetTrainer, PipelineConfig, TrainJob};
+
+fn main() {
+    // Cloud side: dataset + general model only — the pipeline, not the
+    // scenario builder, does every per-user training run.
+    let scenario =
+        Scenario::builder(Scale::Tiny, SpatialLevel::Building).seed(42).personal_users(0).build();
+    let cohort_start = scenario.first_personal_user;
+    let jobs = cohort_jobs(&scenario.dataset, cohort_start..cohort_start + 4, 0.8);
+    println!("campus        : {} users, {} locations", scenario.dataset.users.len(), {
+        scenario.dataset.n_locations()
+    });
+    println!("general model : {}", scenario.general.describe());
+    println!("cohort        : {} personalization jobs\n", jobs.len());
+
+    let sizing = ScenarioSizing::for_scale(Scale::Tiny);
+    let pipeline = |workers: usize| PipelineConfig {
+        workers,
+        base_seed: 42,
+        personalization: PersonalizationConfig {
+            train: TrainConfig { epochs: sizing.personal_epochs, ..TrainConfig::default() },
+            hidden_dim: sizing.hidden_dim,
+            ..PersonalizationConfig::default()
+        },
+        audit: AuditConfig { max_instances: 4, ..AuditConfig::default() },
+        ..PipelineConfig::default()
+    };
+
+    // Guard the core contract where CI can see it: the 4-worker pool
+    // publishes bit-identical weights to the sequential reference.
+    let published = |workers: usize, jobs: &[TrainJob], registry: &ShardedRegistry| {
+        let report = FleetTrainer::new(pipeline(workers)).run(
+            &scenario.general,
+            &scenario.dataset.space,
+            jobs,
+            registry,
+        );
+        let envelopes: Vec<Vec<u8>> = jobs
+            .iter()
+            .map(|job| {
+                let (model, _) = registry.get(job.user_id).expect("published model decodes");
+                ModelEnvelope::encode(&model).as_bytes().to_vec()
+            })
+            .collect();
+        (report, envelopes)
+    };
+    let sequential = ShardedRegistry::new(scenario.general.clone(), RegistryConfig::default());
+    let (_, reference) = published(1, &jobs, &sequential);
+
+    let registry = ShardedRegistry::new(scenario.general.clone(), RegistryConfig::default());
+    let (report, parallel) = published(4, &jobs, &registry);
+    assert_eq!(reference, parallel, "4-worker weights must be bit-identical to sequential");
+    println!("determinism   : {} envelopes bit-identical at 1 and 4 workers ✓\n", parallel.len());
+    println!("{}", report.render());
+
+    // The audit gate really gates: every enrolled model either passed or
+    // carries the escalated defense the gate deployed.
+    assert_eq!(report.passed() + report.escalated() + report.exhausted(), jobs.len());
+    for outcome in &report.outcomes {
+        println!(
+            "user {:>3}  v{}  {:<9}  leakage {:.2} -> {:.2}  defense {}",
+            outcome.user_id,
+            outcome.version,
+            outcome.gate.verdict.to_string(),
+            outcome.gate.initial_leakage,
+            outcome.gate.final_leakage,
+            outcome.gate.defense,
+        );
+    }
+
+    // Serving: every cohort member answers from their personalized model.
+    let query = &jobs[0].train[0].xs;
+    for job in &jobs {
+        let (model, lookup) = registry.get(job.user_id).expect("published model decodes");
+        assert_ne!(lookup, Lookup::Fallback, "cohort users must not fall back");
+        let probs = model.predict_proba(query);
+        assert_eq!(probs.len(), scenario.dataset.n_locations());
+    }
+    println!("\nserving       : {} cohort queries answered from published models ✓", jobs.len());
+
+    // Step 4: warm-start the whole fleet from its published envelopes and
+    // hot-swap the updates in — versions bump, cold count stays flat.
+    let warm_jobs: Vec<TrainJob> = jobs
+        .iter()
+        .map(|j| {
+            let (model, _) = registry.get(j.user_id).expect("published model decodes");
+            j.clone().into_warm(ModelEnvelope::encode(&model))
+        })
+        .collect();
+    let warm_report = FleetTrainer::new(pipeline(4)).run(
+        &scenario.general,
+        &scenario.dataset.space,
+        &warm_jobs,
+        &registry,
+    );
+    assert_eq!(warm_report.warm_starts(), warm_jobs.len());
+    for (fresh, warm) in report.outcomes.iter().zip(&warm_report.outcomes) {
+        assert!(warm.version > fresh.version, "hot-swap bumps the publication version");
+    }
+    let stats = registry.stats();
+    assert_eq!(stats.cold_models, jobs.len(), "updates replace models, never duplicate them");
+    println!(
+        "warm updates  : {} models re-trained and hot-swapped (registry at {} publishes) ✓",
+        warm_report.warm_starts(),
+        stats.publishes,
+    );
+}
