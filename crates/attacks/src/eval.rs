@@ -3,10 +3,10 @@
 use std::time::{Duration, Instant};
 
 use pelican_mobility::FeatureSpace;
-use pelican_nn::SequenceModel;
 
 use crate::adversary::Instance;
 use crate::methods::AttackMethod;
+use crate::oracle::BlackBox;
 use crate::prior::Prior;
 
 /// Aggregated result of running one attack over many instances.
@@ -89,10 +89,12 @@ impl AttackEvaluation {
 ///
 /// `interest` is the pre-computed locations-of-interest set (see
 /// [`crate::interest_locations`]); brute force and gradient descent ignore
-/// it.
-pub fn evaluate_attack(
+/// it. `model` is any [`BlackBox`] oracle — a plain
+/// [`pelican_nn::SequenceModel`] or a cached wrapper
+/// ([`crate::CachedBlackBox`]).
+pub fn evaluate_attack<M: BlackBox>(
     method: &AttackMethod,
-    model: &mut SequenceModel,
+    model: &mut M,
     space: &FeatureSpace,
     prior: &Prior,
     interest: &[usize],
@@ -122,6 +124,7 @@ mod tests {
     use crate::adversary::Adversary;
     use crate::methods::TimeBased;
     use pelican_mobility::{Session, SpatialLevel};
+    use pelican_nn::SequenceModel;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

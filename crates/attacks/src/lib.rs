@@ -25,11 +25,14 @@
 pub mod adversary;
 pub mod eval;
 pub mod methods;
+pub mod oracle;
 pub mod prior;
 
 pub use adversary::{Adversary, Instance};
 pub use eval::{evaluate_attack, AttackEvaluation};
 pub use methods::{
-    interest_locations, AttackMethod, BruteForce, GradientDescent, Ranking, TimeBased,
+    interest_locations, interest_locations_in, AttackMethod, BruteForce, GradientDescent, Ranking,
+    TimeBased,
 };
+pub use oracle::{BlackBox, CachedBlackBox, LogitCache};
 pub use prior::{Prior, PriorKind};

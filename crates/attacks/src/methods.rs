@@ -7,6 +7,7 @@ use pelican_nn::{Sequence, SequenceModel, Step};
 use pelican_tensor::softmax_temperature_in_place;
 
 use crate::adversary::Instance;
+use crate::oracle::BlackBox;
 use crate::prior::Prior;
 
 /// Scores assigned by an attack to every location class, ranked descending.
@@ -53,6 +54,30 @@ pub fn interest_locations(
     probes: &[Sequence],
     threshold: f32,
 ) -> Vec<usize> {
+    /// Read-only adapter: probing needs no gradients.
+    struct Frozen<'a>(&'a SequenceModel);
+    impl BlackBox for Frozen<'_> {
+        fn output_dim(&self) -> usize {
+            self.0.output_dim()
+        }
+        fn predict_proba(&mut self, xs: &[Step]) -> Step {
+            self.0.predict_proba(xs)
+        }
+        fn input_gradient(&mut self, _xs: &Sequence, _target: usize) -> (f32, Sequence) {
+            unreachable!("interest probing is black-box only")
+        }
+    }
+    interest_locations_in(&mut Frozen(model), probes, threshold)
+}
+
+/// [`interest_locations`] against any [`BlackBox`] oracle — e.g. a
+/// logit-cached model, so an audit gate re-probing the same weights under
+/// an escalated defense pays zero forward passes.
+pub fn interest_locations_in<M: BlackBox>(
+    model: &mut M,
+    probes: &[Sequence],
+    threshold: f32,
+) -> Vec<usize> {
     let n = model.output_dim();
     let mut keep = vec![false; n];
     for xs in probes {
@@ -80,10 +105,11 @@ pub enum AttackMethod {
 }
 
 impl AttackMethod {
-    /// Runs the attack on one instance.
-    pub fn run(
+    /// Runs the attack on one instance against any query oracle (a plain
+    /// [`SequenceModel`] or e.g. a [`crate::CachedBlackBox`]).
+    pub fn run<M: BlackBox>(
         &self,
-        model: &mut SequenceModel,
+        model: &mut M,
         space: &FeatureSpace,
         prior: &Prior,
         interest: &[usize],
@@ -168,9 +194,9 @@ pub struct BruteForce {
 }
 
 impl BruteForce {
-    fn run(
+    fn run<M: BlackBox>(
         &self,
-        model: &mut SequenceModel,
+        model: &mut M,
         space: &FeatureSpace,
         prior: &Prior,
         instance: &Instance,
@@ -218,9 +244,9 @@ impl Default for TimeBased {
 }
 
 impl TimeBased {
-    fn run(
+    fn run<M: BlackBox>(
         &self,
-        model: &mut SequenceModel,
+        model: &mut M,
         space: &FeatureSpace,
         prior: &Prior,
         interest: &[usize],
@@ -310,9 +336,9 @@ impl Default for GradientDescent {
 }
 
 impl GradientDescent {
-    fn run(
+    fn run<M: BlackBox>(
         &self,
-        model: &mut SequenceModel,
+        model: &mut M,
         space: &FeatureSpace,
         prior: &Prior,
         instance: &Instance,

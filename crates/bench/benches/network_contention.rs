@@ -1,0 +1,93 @@
+//! Criterion bench behind the `pelican-sim` engine: host cost of
+//! simulating a contended fleet.
+//!
+//! The simulator sits inside every network-aware experiment loop, so its
+//! own throughput matters: a link-mix sweep re-simulates the same cohort
+//! many times. Scenarios cover the two sharing disciplines on one shared
+//! uplink plus the uncontended per-device layout, at fleet sizes big
+//! enough for the event queue (not setup) to dominate. Determinism is
+//! asserted before timing starts: identical inputs must produce
+//! bit-identical traces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pelican_sim::{
+    Discipline, JobSpec, LinkMix, LinkSpec, Simulator, Stage, StragglerConfig, TransferPolicy,
+};
+
+/// A download → train → upload fleet over `devices` devices. Uploads all
+/// target link 0; device links follow.
+fn fleet(devices: usize, shared_uplink: bool) -> (Simulator, Vec<JobSpec>) {
+    let mix = LinkMix::campus().with_stragglers(StragglerConfig { fraction: 0.1, slowdown: 8.0 });
+    let mut links = vec![LinkSpec {
+        profile: pelican_sim::LinkProfile::wan(),
+        discipline: Discipline::FairShare,
+    }];
+    links.extend((0..devices).map(|d| LinkSpec::fifo(mix.assign(17, d as u64).profile)));
+    let specs = (0..devices)
+        .map(|d| JobSpec {
+            id: d as u64,
+            release_us: 0,
+            stages: vec![
+                Stage::Transfer {
+                    label: "download",
+                    link: 1 + d,
+                    bytes: 200_000,
+                    policy: TransferPolicy::default(),
+                },
+                Stage::Compute { label: "train", duration_us: 5_000 + (d as u64 % 7) * 1_000 },
+                Stage::Transfer {
+                    label: "upload",
+                    link: if shared_uplink { 0 } else { 1 + d },
+                    bytes: 60_000,
+                    policy: TransferPolicy::default(),
+                },
+            ],
+        })
+        .collect();
+    (Simulator::new(links), specs)
+}
+
+fn bench_network_contention(c: &mut Criterion) {
+    // Determinism gate: the engine must replay bit-identically before we
+    // bother timing it.
+    let (sim, specs) = fleet(64, true);
+    assert_eq!(sim.run(&specs).trace, sim.run(&specs).trace);
+
+    let mut group = c.benchmark_group("network_contention");
+    for devices in [64usize, 256] {
+        let (shared, shared_specs) = fleet(devices, true);
+        group.bench_function(format!("shared-uplink/{devices}"), |b| {
+            b.iter(|| std::hint::black_box(shared.run(&shared_specs).jobs.len()))
+        });
+        let (dedicated, dedicated_specs) = fleet(devices, false);
+        group.bench_function(format!("per-device/{devices}"), |b| {
+            b.iter(|| std::hint::black_box(dedicated.run(&dedicated_specs).jobs.len()))
+        });
+    }
+    // Discipline comparison at fixed size: fair-share pays extra
+    // recheck events per membership change.
+    for discipline in [Discipline::Fifo, Discipline::FairShare] {
+        let flat: Vec<JobSpec> = (0..128)
+            .map(|d| JobSpec {
+                id: d,
+                release_us: d * 200,
+                stages: vec![Stage::Transfer {
+                    label: "upload",
+                    link: 0,
+                    bytes: 60_000,
+                    policy: TransferPolicy::default(),
+                }],
+            })
+            .collect();
+        let sim =
+            Simulator::new(vec![LinkSpec { profile: pelican_sim::LinkProfile::wan(), discipline }]);
+        group.bench_function(format!("{discipline:?}/128-uploads"), |b| {
+            b.iter(|| std::hint::black_box(sim.run(&flat).timed_out()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_network_contention);
+criterion_main!(benches);

@@ -10,7 +10,8 @@
 use std::process::ExitCode;
 
 use pelican_bench::experiments::{
-    ablation, adversaries, attack_methods, defense, personalization, serving, spatial, training,
+    ablation, adversaries, attack_methods, defense, network, personalization, serving, spatial,
+    training,
 };
 use pelican_bench::{parse_args, RunConfig};
 
@@ -32,6 +33,7 @@ experiments:
   fig5c     defense: leakage reduction by spatial level
   serve-report      fleet serving: throughput, batching, cache and latency per tier
   train-report      fleet training: parallel personalization, audit gate, enroll latency
+  net-report        fleet network: link-mix x retry sweep, uplink contention, cloud RTT
   ablate-defenses   compare temperature vs output-noise vs rounding defenses
   ablate-interest   locations-of-interest threshold sweep
   ablate-gd         gradient-descent attack hyperparameter sweep
@@ -148,6 +150,20 @@ fn run_experiment(name: &str, config: &RunConfig) -> bool {
             println!("{}", training::table(&outcomes).render());
             println!("(published weights and audit verdicts verified bit-identical across widths;");
             println!(" speedup is host wall clock, so it reflects this machine's core count)");
+        }
+        "net-report" => {
+            banner("Fleet network — simulated device↔cloud contention", config);
+            let run = network::run(config);
+            println!(
+                "general envelope {} kB; determinism and contention contracts verified",
+                run.general_bytes / 1024,
+            );
+            println!("\nlink-mix × retry-policy sweep (enroll latency, simulated):");
+            println!("{}", network::table(&run).render());
+            println!("shared-uplink contention vs. per-device baseline:");
+            println!("{}", network::contention_table(&run).render());
+            println!("cloud-deployed serving round trips:");
+            println!("{}", network::cloud_table(config).render());
         }
         "ablate-defenses" => {
             banner("Ablation — defense comparison (Table V alternatives)", config);

@@ -10,11 +10,13 @@
 //! | [`ablation`] | defense comparison, interest threshold, GD config, freeze depth |
 //! | [`serving`] | fleet-serving throughput/latency (beyond the paper; ROADMAP north star) |
 //! | [`training`] | fleet-training pipeline: parallel personalization + audit gate (beyond the paper) |
+//! | [`network`] | device↔cloud network simulation: link-mix × retry sweep, contention, cloud RTT (beyond the paper) |
 
 pub mod ablation;
 pub mod adversaries;
 pub mod attack_methods;
 pub mod defense;
+pub mod network;
 pub mod personalization;
 pub mod serving;
 pub mod spatial;

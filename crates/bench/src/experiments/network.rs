@@ -1,0 +1,339 @@
+//! Fleet-network experiment (`net-report`): replay one fleet-training
+//! run through the `pelican-sim` discrete-event simulator across a
+//! link-mix × retry-policy sweep, plus the cloud-serving round-trip path.
+//!
+//! Two contracts are asserted on every run, not just in tests:
+//!
+//! * **Determinism** — the pipeline is run at two trainer-pool widths;
+//!   both replays must produce bit-identical event traces and latency
+//!   breakdowns (per-job simulated compute comes from exact per-thread
+//!   FLOP counts, so pool width is invisible to the network).
+//! * **Contention** — a shared cloud uplink must yield strictly higher
+//!   p95 enroll latency than the uncontended per-device baseline, with
+//!   real queueing (non-zero p95 queue component).
+
+use pelican::workbench::{Scenario, ScenarioSizing};
+use pelican::PersonalizationConfig;
+use pelican_mobility::SpatialLevel;
+use pelican_nn::{ModelEnvelope, TrainConfig};
+use pelican_serve::{run_fleet, CloudNetwork, FleetConfig, RegistryConfig, ShardedRegistry};
+use pelican_sim::{Discipline, LinkMix, LinkProfile, RetryPolicy, StragglerConfig, TransferPolicy};
+use pelican_train::{
+    cohort_jobs, simulate_fleet_network, AuditConfig, FleetTrainer, NetComponent, NetTrainReport,
+    NetworkConfig, PipelineConfig, TrainReport, UplinkMode,
+};
+
+use crate::report::Table;
+use crate::RunConfig;
+
+/// One sweep cell: a link mix × retry policy, simulated over the same
+/// training run.
+#[derive(Debug, Clone)]
+pub struct NetOutcome {
+    /// Link-mix row label.
+    pub mix: &'static str,
+    /// Retry-policy column label.
+    pub retry: &'static str,
+    /// The simulated fleet network report.
+    pub report: NetTrainReport,
+}
+
+/// Everything `net-report` produces.
+#[derive(Debug, Clone)]
+pub struct NetworkRun {
+    /// The training report the simulations replay (width-1 reference).
+    pub train: TrainReport,
+    /// General-envelope download size (bytes).
+    pub general_bytes: u64,
+    /// The link-mix × retry-policy sweep.
+    pub sweep: Vec<NetOutcome>,
+    /// Uncontended per-device baseline (all-wifi).
+    pub baseline: NetTrainReport,
+    /// Same fleet on a shared FIFO wifi uplink.
+    pub contended: NetTrainReport,
+}
+
+/// The sweep's link mixes. Stragglers ride along in every row so the
+/// straggler column is meaningful.
+fn mixes() -> Vec<(&'static str, LinkMix)> {
+    let stragglers = StragglerConfig { fraction: 0.15, slowdown: 8.0 };
+    vec![
+        ("all-wifi", LinkMix::all_wifi().with_stragglers(stragglers)),
+        ("campus", LinkMix::campus().with_stragglers(stragglers)),
+        ("cellular", LinkMix::cellular_heavy().with_stragglers(stragglers)),
+    ]
+}
+
+/// The sweep's retry policies, applied to *both* transfers of every
+/// device. The `retry` column bounds each attempt to 500 ms with
+/// exponential backoff — generous for a healthy link, hopeless for an
+/// 8× straggler's download on cellular, so the timed-out column fills.
+fn retries() -> Vec<(&'static str, TransferPolicy)> {
+    vec![
+        ("none", TransferPolicy::default()),
+        (
+            "timeout+backoff",
+            TransferPolicy {
+                timeout_us: Some(500_000),
+                retry: RetryPolicy::exponential(3, 100_000, 2.0),
+            },
+        ),
+    ]
+}
+
+/// Runs the experiment: trains one cohort (at two pool widths, asserting
+/// network-level determinism), then sweeps link mixes × retry policies.
+///
+/// # Panics
+///
+/// Panics if the two pool widths produce different event traces or
+/// latency breakdowns, or if the contended uplink fails to raise p95
+/// strictly above the per-device baseline (the acceptance contract).
+pub fn run(config: &RunConfig) -> NetworkRun {
+    let sizing = ScenarioSizing::for_scale(config.scale);
+    let scenario: Scenario = Scenario::builder(config.scale, SpatialLevel::Building)
+        .seed(config.seed)
+        .personal_users(0)
+        .build();
+    let cohort_start = scenario.first_personal_user;
+    let cohort_end = (cohort_start + config.personal_users()).min(scenario.dataset.users.len());
+    let jobs = cohort_jobs(&scenario.dataset, cohort_start..cohort_end, 0.8);
+    let general_bytes = ModelEnvelope::encode(&scenario.general).len() as u64;
+
+    let pipeline = |workers: usize| PipelineConfig {
+        workers,
+        base_seed: config.seed,
+        personalization: PersonalizationConfig {
+            train: TrainConfig {
+                epochs: sizing.personal_epochs,
+                batch_size: 16,
+                ..TrainConfig::default()
+            },
+            hidden_dim: sizing.hidden_dim,
+            ..PersonalizationConfig::default()
+        },
+        audit: AuditConfig {
+            max_instances: config.instances_per_user,
+            seed: config.seed ^ 0xA0D1,
+            ..AuditConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let train_at = |workers: usize| {
+        let registry = ShardedRegistry::new(scenario.general.clone(), RegistryConfig::default());
+        FleetTrainer::new(pipeline(workers)).run(
+            &scenario.general,
+            &scenario.dataset.space,
+            &jobs,
+            &registry,
+        )
+    };
+
+    // Acceptance contract 1: different trainer-pool widths replay to
+    // bit-identical traces and breakdowns.
+    let train = train_at(1);
+    let train_wide = train_at(2);
+    let net_config = NetworkConfig { seed: config.seed ^ 0x11E7, ..NetworkConfig::default() };
+    let narrow = simulate_fleet_network(&train, general_bytes, &net_config);
+    let wide = simulate_fleet_network(&train_wide, general_bytes, &net_config);
+    assert_eq!(
+        narrow.sim.trace, wide.sim.trace,
+        "1- and 2-worker runs must replay bit-identical event traces"
+    );
+    assert_eq!(narrow.fingerprint(), wide.fingerprint());
+    assert_eq!(narrow.enrolls, wide.enrolls, "latency breakdowns must match across widths");
+
+    // Acceptance contract 2: shared-uplink contention strictly raises
+    // p95 over the uncontended per-device baseline (same link class, so
+    // the difference is pure queueing).
+    let wifi = |uplink| NetworkConfig {
+        mix: LinkMix::all_wifi(),
+        uplink,
+        seed: config.seed ^ 0x11E7,
+        ..NetworkConfig::default()
+    };
+    let baseline = simulate_fleet_network(&train, general_bytes, &wifi(UplinkMode::PerDevice));
+    let contended = simulate_fleet_network(
+        &train,
+        general_bytes,
+        &wifi(UplinkMode::Shared { profile: LinkProfile::wifi(), discipline: Discipline::Fifo }),
+    );
+    assert!(
+        contended.enroll_percentile_us(0.95) > baseline.enroll_percentile_us(0.95),
+        "shared uplink must strictly raise p95: {} vs {} µs",
+        contended.enroll_percentile_us(0.95),
+        baseline.enroll_percentile_us(0.95)
+    );
+    if jobs.len() >= 2 {
+        assert!(
+            contended.component_percentile_us(NetComponent::Queue, 0.95) > 0,
+            "a shared uplink with simultaneous releases must queue"
+        );
+    }
+
+    let sweep = mixes()
+        .into_iter()
+        .flat_map(|(mix_name, mix)| {
+            retries()
+                .into_iter()
+                .map(move |(retry_name, policy)| (mix_name, mix, retry_name, policy))
+        })
+        .map(|(mix_name, mix, retry_name, policy)| {
+            let cell = NetworkConfig {
+                mix,
+                download: policy,
+                upload: policy,
+                seed: config.seed ^ 0x11E7,
+                ..NetworkConfig::default()
+            };
+            NetOutcome {
+                mix: mix_name,
+                retry: retry_name,
+                report: simulate_fleet_network(&train, general_bytes, &cell),
+            }
+        })
+        .collect();
+
+    NetworkRun { train, general_bytes, sweep, baseline, contended }
+}
+
+/// Main sweep table: one row per link-mix × retry-policy cell.
+pub fn table(run: &NetworkRun) -> Table {
+    let mut t = Table::new(&[
+        "mix",
+        "retry",
+        "p50(ms)",
+        "p95(ms)",
+        "queue-p95",
+        "xfer-p95",
+        "train-p95",
+        "audit-p95",
+        "stragglers",
+        "strag-p95(ms)",
+        "timed-out",
+    ]);
+    let ms = |us: u64| format!("{:.1}", us as f64 / 1e3);
+    for cell in &run.sweep {
+        let r = &cell.report;
+        t.row(&[
+            cell.mix.to_string(),
+            cell.retry.to_string(),
+            ms(r.enroll_percentile_us(0.50)),
+            ms(r.enroll_percentile_us(0.95)),
+            ms(r.component_percentile_us(NetComponent::Queue, 0.95)),
+            ms(r.component_percentile_us(NetComponent::Transfer, 0.95)),
+            ms(r.component_percentile_us(NetComponent::Train, 0.95)),
+            ms(r.component_percentile_us(NetComponent::Audit, 0.95)),
+            r.stragglers().to_string(),
+            ms(r.straggler_p95_us()),
+            r.timed_out().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Contention table: the uncontended baseline vs. the shared uplink.
+pub fn contention_table(run: &NetworkRun) -> Table {
+    let mut t = Table::new(&["uplink", "p50(ms)", "p95(ms)", "queue-p95(ms)", "trace"]);
+    let ms = |us: u64| format!("{:.1}", us as f64 / 1e3);
+    for (name, report) in [("per-device", &run.baseline), ("shared-fifo", &run.contended)] {
+        t.row(&[
+            name.to_string(),
+            ms(report.enroll_percentile_us(0.50)),
+            ms(report.enroll_percentile_us(0.95)),
+            ms(report.component_percentile_us(NetComponent::Queue, 0.95)),
+            format!("{:016x}", report.fingerprint()),
+        ]);
+    }
+    t
+}
+
+/// Cloud-serving round trips: on-device vs. cloud-deployed (same
+/// traffic, same registry shape).
+pub fn cloud_table(config: &RunConfig) -> Table {
+    let scenario: Scenario = super::scenario(config, SpatialLevel::Building);
+    let fleet = |cloud| FleetConfig {
+        traffic: pelican_serve::TrafficConfig {
+            requests: 2_000,
+            seed: config.seed,
+            ..pelican_serve::TrafficConfig::default()
+        },
+        unenrolled_clients: scenario.personal.len().max(2),
+        cloud,
+        ..FleetConfig::default()
+    };
+    let on_device = run_fleet(&scenario, &fleet(None)).expect("envelopes decode");
+    let cloud = run_fleet(
+        &scenario,
+        &fleet(Some(CloudNetwork { seed: config.seed ^ 0xC10D, ..CloudNetwork::default() })),
+    )
+    .expect("envelopes decode");
+
+    let mut t = Table::new(&[
+        "deployment",
+        "p50(ms)",
+        "p95(ms)",
+        "p99(ms)",
+        "uplink-wait-p95",
+        "egress-wait-p95",
+        "dropped",
+    ]);
+    let ms = |us: u64| format!("{:.2}", us as f64 / 1e3);
+    t.row(&[
+        "on-device".into(),
+        ms(on_device.report.p50_us),
+        ms(on_device.report.p95_us),
+        ms(on_device.report.p99_us),
+        "-".into(),
+        "-".into(),
+        "0".into(),
+    ]);
+    let rtt = cloud.network.expect("cloud path produces a round-trip summary");
+    t.row(&[
+        "cloud".into(),
+        ms(rtt.rtt_p50_us),
+        ms(rtt.rtt_p95_us),
+        ms(rtt.rtt_p99_us),
+        ms(rtt.uplink_wait_p95_us),
+        ms(rtt.egress_wait_p95_us),
+        rtt.dropped.to_string(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelican_mobility::Scale;
+
+    fn tiny() -> RunConfig {
+        RunConfig {
+            scale: Scale::Tiny,
+            users: Some(3),
+            instances_per_user: 2,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn net_report_runs_and_holds_its_contracts_at_tiny_scale() {
+        // run() itself asserts determinism across widths and strict p95
+        // contention — reaching the table is the test.
+        let run = run(&tiny());
+        assert_eq!(run.sweep.len(), 6, "3 mixes x 2 retry policies");
+        assert!(run.general_bytes > 0);
+        for cell in &run.sweep {
+            assert_eq!(cell.report.enrolls.len(), run.train.outcomes.len());
+        }
+        let rendered = table(&run).render();
+        assert!(rendered.contains("all-wifi") && rendered.contains("timeout+backoff"));
+        assert!(contention_table(&run).render().contains("shared-fifo"));
+    }
+
+    #[test]
+    fn cloud_serving_table_has_both_deployments() {
+        let rendered = cloud_table(&tiny()).render();
+        assert!(rendered.contains("on-device"));
+        assert!(rendered.contains("cloud"));
+    }
+}

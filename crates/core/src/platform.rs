@@ -16,7 +16,8 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 
 use pelican_nn::ModelEnvelope;
-use pelican_tensor::FlopGuard;
+use pelican_sim::LinkProfile;
+use pelican_tensor::{FlopGuard, ThreadFlopGuard};
 
 /// Where a computation runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -104,9 +105,30 @@ pub fn measure<T>(tier: ComputeTier, f: impl FnOnce() -> T) -> (T, ResourceUsage
     let out = f();
     let host_elapsed = wall.elapsed();
     let flops = guard.stop();
+    (out, usage_of(tier, flops, host_elapsed))
+}
+
+/// Runs `f`, attributing only *this thread's* floating-point work to
+/// `tier`.
+///
+/// Unlike [`measure`], concurrent measurements on other threads do not
+/// interleave: each thread mirrors its own FLOP contributions, so a
+/// worker pool can measure per-job costs that are bit-identical for any
+/// pool width. The closure must not spawn threads of its own — work done
+/// elsewhere is not attributed.
+pub fn measure_thread<T>(tier: ComputeTier, f: impl FnOnce() -> T) -> (T, ResourceUsage) {
+    let guard = ThreadFlopGuard::start();
+    let wall = std::time::Instant::now();
+    let out = f();
+    let host_elapsed = wall.elapsed();
+    let flops = guard.stop();
+    (out, usage_of(tier, flops, host_elapsed))
+}
+
+fn usage_of(tier: ComputeTier, flops: u64, host_elapsed: Duration) -> ResourceUsage {
     let cycles = (flops as f64 / tier.flops_per_cycle()).ceil() as u64;
     let simulated = Duration::from_secs_f64(cycles as f64 / tier.clock_hz());
-    (out, ResourceUsage { flops, cycles, simulated, host_elapsed })
+    ResourceUsage { flops, cycles, simulated, host_elapsed }
 }
 
 /// A simulated network link between device and cloud.
@@ -140,6 +162,19 @@ impl NetworkLink {
     /// upload).
     pub fn model_transfer_time(&self, envelope: &ModelEnvelope) -> Duration {
         self.transfer_time(envelope.len())
+    }
+
+    /// This link as a [`pelican_sim`] profile, so code that priced
+    /// transfers with the synchronous [`NetworkLink::transfer_time`] can
+    /// hand the same latency/bandwidth shape to the discrete-event
+    /// simulator (where transfers contend, overlap compute, time out and
+    /// retry).
+    pub fn profile(&self, name: &'static str) -> LinkProfile {
+        LinkProfile {
+            name,
+            latency_us: self.latency.as_micros() as u64,
+            bytes_per_sec: self.bytes_per_second,
+        }
     }
 }
 
@@ -198,5 +233,41 @@ mod tests {
     fn wan_is_slower_than_wifi() {
         let bytes = 5_000_000;
         assert!(NetworkLink::wan().transfer_time(bytes) > NetworkLink::wifi().transfer_time(bytes));
+    }
+
+    #[test]
+    fn measure_thread_is_immune_to_concurrent_work() {
+        let a = Matrix::zeros(16, 16);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let ((), usage) = std::thread::scope(|scope| {
+            // A noisy neighbour hammers the global FLOP counter the whole
+            // time; the per-thread measurement must not see any of it.
+            scope.spawn(|| {
+                let b = Matrix::zeros(8, 8);
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let _ = b.matmul(&b);
+                }
+            });
+            let out = measure_thread(ComputeTier::Device, || {
+                let _ = a.matmul(&a);
+            });
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            out
+        });
+        assert_eq!(usage.flops, 2 * 16 * 16 * 16, "exactly this thread's work");
+        assert_eq!(usage.cycles, usage.flops / 2);
+    }
+
+    #[test]
+    fn sim_profile_mirrors_the_link() {
+        let link = NetworkLink::wifi();
+        let profile = link.profile("wifi");
+        assert_eq!(profile.latency_us, 8_000);
+        assert_eq!(profile.bytes_per_sec, link.bytes_per_second);
+        // Uncontended sim pricing agrees with the synchronous pricing to
+        // within the sim's 1 µs rounding.
+        let bytes = 3_000_000;
+        let sync_us = link.transfer_time(bytes).as_micros() as u64;
+        assert!(profile.transfer_us(bytes as u64).abs_diff(sync_us) <= 1);
     }
 }

@@ -53,7 +53,7 @@ pub use linear::Linear;
 pub use loss::softmax_cross_entropy;
 pub use lstm::Lstm;
 pub use metrics::{top_k_accuracy, TopKAccuracy};
-pub use model::{ModelBuilder, Postprocess, SequenceModel};
+pub use model::{query_hash, ModelBuilder, Postprocess, SequenceModel};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use serialize::{ModelCodecError, ModelEnvelope};
 pub use train::{

@@ -86,7 +86,15 @@ fn renormalize(probs: &mut [f32]) {
     }
 }
 
-fn hash_query(xs: &[Step]) -> u64 {
+/// FNV-style fingerprint of a query sequence.
+///
+/// This is the identity [`Postprocess`] keys deterministic per-query
+/// noise on, and the key callers can cache per-query *logits* under:
+/// defenses only change the logits→confidence mapping (temperature,
+/// post-processing), never the logits themselves, so a logit cached by
+/// query hash stays valid across defense changes as long as the weights
+/// are untouched.
+pub fn query_hash(xs: &[Step]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for step in xs {
         for &v in step {
@@ -280,9 +288,20 @@ impl SequenceModel {
     /// over [`SequenceModel::logits`]. This is the black-box interface the
     /// service provider (and therefore the adversary) sees.
     pub fn predict_proba(&self, xs: &[Step]) -> Step {
-        let mut logits = self.logits(xs);
+        let logits = self.logits(xs);
+        self.proba_from_logits(logits, query_hash(xs))
+    }
+
+    /// Applies the inference-time confidence pipeline (temperature-scaled
+    /// softmax, then post-processing keyed by `query_hash`) to raw
+    /// logits. `predict_proba(xs)` ≡
+    /// `proba_from_logits(logits(xs), query_hash(xs))`, bit for bit —
+    /// which is what lets audit gates cache logits per query and replay
+    /// them under a different deployed defense without re-running the
+    /// forward pass.
+    pub fn proba_from_logits(&self, mut logits: Step, query_hash: u64) -> Step {
         softmax_temperature_in_place(&mut logits, self.temperature);
-        self.postprocess.apply(&mut logits, hash_query(xs));
+        self.postprocess.apply(&mut logits, query_hash);
         logits
     }
 
@@ -296,7 +315,7 @@ impl SequenceModel {
         let mut rows = self.logits_batch(xs);
         for (row, seq) in rows.iter_mut().zip(xs) {
             softmax_temperature_in_place(row, self.temperature);
-            self.postprocess.apply(row, hash_query(seq.as_ref()));
+            self.postprocess.apply(row, query_hash(seq.as_ref()));
         }
         rows
     }
@@ -553,6 +572,28 @@ mod tests {
                     grads[t][j]
                 );
             }
+        }
+    }
+
+    #[test]
+    fn proba_from_logits_replays_predict_proba_under_every_defense() {
+        let mut m = tiny_model();
+        let xs = vec![vec![0.4; 6], vec![-0.2; 6]];
+        let logits = m.logits(&xs);
+        let key = query_hash(&xs);
+        for (temperature, post) in [
+            (1.0, Postprocess::None),
+            (1e-3, Postprocess::None),
+            (1.0, Postprocess::GaussianNoise { sigma: 0.1, seed: 9 }),
+            (1.0, Postprocess::Round { decimals: 1 }),
+        ] {
+            m.set_temperature(temperature);
+            m.set_postprocess(post);
+            assert_eq!(
+                m.proba_from_logits(logits.clone(), key),
+                m.predict_proba(&xs),
+                "cached-logit replay must be bit-identical at T={temperature} {post:?}"
+            );
         }
     }
 

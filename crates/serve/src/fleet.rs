@@ -4,15 +4,29 @@
 //! This is the piece the `fleet_serve` example, the `serve-report`
 //! experiment and the serving benchmarks all drive: one deterministic
 //! function from (scenario, knobs) to a [`ServeReport`].
+//!
+//! With [`FleetConfig::cloud`] set, queries additionally pay the
+//! device↔cloud network through the [`pelican_sim`] discrete-event
+//! simulator: each query's payload crosses its client's own (seeded,
+//! heterogeneous) uplink before it can be batched, and the response
+//! queues on one shared, contended cloud egress link on the way back.
+//! The round-trip summary lands in [`FleetOutcome::network`].
+
+use std::collections::HashMap;
 
 use pelican::platform::ComputeTier;
 use pelican::workbench::Scenario;
 use pelican::PrivacyLayer;
 use pelican_nn::{ModelCodecError, Sequence};
+use pelican_sim::{
+    Discipline, JobSpec, JobStatus, LinkMix, LinkProfile, LinkSpec, Simulator, Stage,
+    TransferPolicy,
+};
+use pelican_tensor::nearest_rank;
 
 use crate::metrics::{MetricsSink, ServeReport};
 use crate::registry::{RegistryConfig, RegistryStats, ShardedRegistry};
-use crate::scheduler::{BatchScheduler, Request, SchedulerConfig, ServeEngine};
+use crate::scheduler::{BatchScheduler, Completion, Request, SchedulerConfig, ServeEngine};
 use crate::traffic::{TrafficConfig, TrafficGenerator};
 
 /// Everything a fleet run needs besides the scenario.
@@ -34,6 +48,10 @@ pub struct FleetConfig {
     pub unenrolled_clients: usize,
     /// Distinct query sequences cached per client (cycled round-robin).
     pub queries_per_user: usize,
+    /// Cloud-deployment network path. `None` serves on-device (queries
+    /// pay no network); `Some` routes every round trip through the
+    /// discrete-event simulator.
+    pub cloud: Option<CloudNetwork>,
 }
 
 impl Default for FleetConfig {
@@ -46,17 +64,79 @@ impl Default for FleetConfig {
             privacy: Some(PrivacyLayer::default()),
             unenrolled_clients: 4,
             queries_per_user: 32,
+            cloud: None,
         }
     }
+}
+
+/// Network shape of cloud-deployed serving.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloudNetwork {
+    /// Per-client uplink assignment (wifi/WAN/cellular mix, stragglers).
+    pub mix: LinkMix,
+    /// The shared cloud egress link every response queues on.
+    pub egress: LinkProfile,
+    /// How contending responses share the egress link.
+    pub egress_discipline: Discipline,
+    /// Query payload size in bytes.
+    pub query_bytes: u64,
+    /// Response payload size in bytes.
+    pub response_bytes: u64,
+    /// Timeout/retry policy of query uplink transfers (a timed-out query
+    /// is dropped before reaching the cloud).
+    pub uplink_policy: TransferPolicy,
+    /// Fleet seed for link assignment.
+    pub seed: u64,
+}
+
+impl Default for CloudNetwork {
+    /// Campus client mix, one fair-share WAN egress, 2 kB queries and
+    /// 1 kB responses, no timeouts.
+    fn default() -> Self {
+        Self {
+            mix: LinkMix::campus(),
+            egress: LinkProfile::wan(),
+            egress_discipline: Discipline::FairShare,
+            query_bytes: 2_048,
+            response_bytes: 1_024,
+            uplink_policy: TransferPolicy::default(),
+            seed: 0xC10D,
+        }
+    }
+}
+
+/// Round-trip summary of cloud-deployed serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CloudRtt {
+    /// Queries that completed the full round trip.
+    pub requests: usize,
+    /// Queries dropped on the uplink (timeout retries exhausted).
+    pub dropped: usize,
+    /// Median end-to-end latency: client send → response delivered (µs).
+    pub rtt_p50_us: u64,
+    /// 95th-percentile end-to-end latency (µs).
+    pub rtt_p95_us: u64,
+    /// 99th-percentile end-to-end latency (µs).
+    pub rtt_p99_us: u64,
+    /// 95th-percentile contention wait on client uplinks (µs).
+    pub uplink_wait_p95_us: u64,
+    /// 95th-percentile contention wait on the shared egress (µs).
+    pub egress_wait_p95_us: u64,
+    /// Combined determinism fingerprint of both network phases.
+    pub fingerprint: u64,
 }
 
 /// Result of a fleet run.
 #[derive(Debug, Clone)]
 pub struct FleetOutcome {
-    /// Throughput / latency / batching / cache report.
+    /// Throughput / latency / batching / cache report (cloud-side: its
+    /// latencies start when the query reaches the cloud).
     pub report: ServeReport,
     /// Final registry counters (also embedded in the report).
     pub stats: RegistryStats,
+    /// End-to-end round-trip summary when serving through
+    /// [`FleetConfig::cloud`]; `None` for on-device serving.
+    pub network: Option<CloudRtt>,
 }
 
 /// Runs a full serving experiment against a scenario's population.
@@ -105,7 +185,7 @@ pub fn run_fleet(
     let mut traffic = config.traffic;
     traffic.users = pool.len();
     let mut cursors = vec![0usize; pool.len()];
-    let requests: Vec<Request> = TrafficGenerator::new(traffic)
+    let mut requests: Vec<Request> = TrafficGenerator::new(traffic)
         .enumerate()
         .map(|(id, arrival)| {
             let queries = &query_pool[arrival.user_index];
@@ -115,14 +195,104 @@ pub fn run_fleet(
         })
         .collect();
 
+    // Cloud deployment: queries cross their client's uplink before they
+    // can be batched. The sim rewrites each request's arrival to its
+    // cloud-ingress time and drops queries whose uplink retries ran out.
+    let mut uplink_phase = None;
+    if let Some(cloud) = &config.cloud {
+        let slot_of: HashMap<usize, usize> =
+            pool.iter().enumerate().map(|(slot, &uid)| (uid, slot)).collect();
+        let links: Vec<LinkSpec> = pool
+            .iter()
+            .map(|&uid| LinkSpec::fair(cloud.mix.assign(cloud.seed, uid as u64).profile))
+            .collect();
+        let specs: Vec<JobSpec> = requests
+            .iter()
+            .map(|r| JobSpec {
+                id: r.id as u64,
+                release_us: r.arrival_us,
+                stages: vec![Stage::Transfer {
+                    label: "uplink",
+                    link: slot_of[&r.user_id],
+                    bytes: cloud.query_bytes,
+                    policy: cloud.uplink_policy,
+                }],
+            })
+            .collect();
+        let up = Simulator::new(links).run(&specs);
+        let original_arrivals: Vec<u64> = requests.iter().map(|r| r.arrival_us).collect();
+        requests = requests
+            .into_iter()
+            .zip(&up.jobs)
+            .filter_map(|(mut r, job)| {
+                (job.status == JobStatus::Completed).then(|| {
+                    r.arrival_us = job.end_us;
+                    r
+                })
+            })
+            .collect();
+        uplink_phase = Some((up, original_arrivals));
+    }
+
     let scheduler = BatchScheduler::new(config.scheduler, registry.shard_count());
     let batches = scheduler.coalesce(requests);
     let engine = ServeEngine::new(&registry, config.tier);
     let mut sink = MetricsSink::default();
+    let mut completions: Vec<Completion> = Vec::new();
     for batch in &batches {
-        let completions = engine.execute(batch)?;
-        sink.record(batch, &completions);
+        let batch_completions = engine.execute(batch)?;
+        sink.record(batch, &batch_completions);
+        if config.cloud.is_some() {
+            completions.extend(batch_completions);
+        }
     }
+
+    // Cloud deployment, return path: every response queues on the shared
+    // egress link; the round trip ends when the last byte lands.
+    let network = match (&config.cloud, uplink_phase) {
+        (Some(cloud), Some((up, original_arrivals))) => {
+            let egress = Simulator::new(vec![LinkSpec {
+                profile: cloud.egress,
+                discipline: cloud.egress_discipline,
+            }]);
+            completions.sort_by_key(|c| c.request_id);
+            let specs: Vec<JobSpec> = completions
+                .iter()
+                .map(|c| JobSpec {
+                    id: c.request_id as u64,
+                    release_us: c.dispatched_us + c.compute.as_micros() as u64,
+                    stages: vec![Stage::Transfer {
+                        label: "response",
+                        link: 0,
+                        bytes: cloud.response_bytes,
+                        policy: TransferPolicy::default(),
+                    }],
+                })
+                .collect();
+            let down = egress.run(&specs);
+            let mut rtts: Vec<u64> = down
+                .jobs
+                .iter()
+                .map(|job| job.end_us - original_arrivals[job.id as usize])
+                .collect();
+            rtts.sort_unstable();
+            let wait_p95 = |outcome: &pelican_sim::SimOutcome, label| {
+                pelican_sim::stage_stats(outcome, label).wait_p95_us
+            };
+            Some(CloudRtt {
+                requests: rtts.len(),
+                dropped: up.timed_out(),
+                rtt_p50_us: nearest_rank(&rtts, 0.50).unwrap_or(0),
+                rtt_p95_us: nearest_rank(&rtts, 0.95).unwrap_or(0),
+                rtt_p99_us: nearest_rank(&rtts, 0.99).unwrap_or(0),
+                uplink_wait_p95_us: wait_p95(&up, "uplink"),
+                egress_wait_p95_us: wait_p95(&down, "response"),
+                fingerprint: up.fingerprint() ^ down.fingerprint().rotate_left(1),
+            })
+        }
+        _ => None,
+    };
+
     let stats = registry.stats();
-    Ok(FleetOutcome { report: sink.report(config.tier, stats), stats })
+    Ok(FleetOutcome { report: sink.report(config.tier, stats), stats, network })
 }

@@ -31,7 +31,13 @@
 //!   p50/p95/p99 simulated latency, all deterministic.
 //!
 //! [`fleet::run_fleet`] wires the four together for the `fleet_serve`
-//! example and the `serve-report` experiment.
+//! example and the `serve-report` experiment. With
+//! [`fleet::FleetConfig::cloud`] set, every query round trip additionally
+//! pays the device↔cloud network through the [`pelican_sim`]
+//! discrete-event simulator: client uplinks are dealt from a seeded
+//! heterogeneous mix, responses queue on one shared contended egress
+//! link, and the round-trip summary lands in
+//! [`fleet::FleetOutcome::network`].
 //!
 //! # Example
 //!
@@ -64,7 +70,7 @@ pub mod registry;
 pub mod scheduler;
 pub mod traffic;
 
-pub use fleet::{run_fleet, FleetConfig, FleetOutcome};
+pub use fleet::{run_fleet, CloudNetwork, CloudRtt, FleetConfig, FleetOutcome};
 pub use metrics::{MetricsSink, ServeReport};
 pub use registry::{Lookup, RegistryConfig, RegistryStats, ShardedRegistry};
 pub use scheduler::{Batch, BatchScheduler, Completion, Request, SchedulerConfig, ServeEngine};

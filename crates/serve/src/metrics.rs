@@ -79,12 +79,11 @@ impl MetricsSink {
 }
 
 /// Nearest-rank percentile over an ascending-sorted slice (0 if empty).
+/// Thin wrapper over the workspace-shared [`pelican_tensor::nearest_rank`]
+/// so serving, training and the network simulator agree on one
+/// percentile definition.
 fn percentile(sorted_us: &[u64], q: f64) -> u64 {
-    if sorted_us.is_empty() {
-        return 0;
-    }
-    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
-    sorted_us[rank - 1]
+    pelican_tensor::nearest_rank(sorted_us, q).unwrap_or(0)
 }
 
 /// A finished serving run, ready to print or tabulate.

@@ -5,7 +5,9 @@
 use pelican::platform::ComputeTier;
 use pelican::workbench::Scenario;
 use pelican_mobility::{Scale, SpatialLevel};
-use pelican_serve::{run_fleet, FleetConfig, RegistryConfig, SchedulerConfig, TrafficConfig};
+use pelican_serve::{
+    run_fleet, CloudNetwork, FleetConfig, RegistryConfig, SchedulerConfig, TrafficConfig,
+};
 
 fn scenario() -> Scenario {
     Scenario::builder(Scale::Tiny, SpatialLevel::Building).seed(19).personal_users(3).build()
@@ -73,4 +75,33 @@ fn coalescing_forms_real_batches_under_load() {
     );
     let max_size = outcome.report.batch_histogram.iter().map(|&(s, _)| s).max().unwrap_or(0);
     assert_eq!(max_size, 8, "full batches dispatch at max_batch");
+}
+
+#[test]
+fn cloud_deployment_pays_rtt_deterministically() {
+    let s = scenario();
+    let cloud = |seed| FleetConfig {
+        cloud: Some(CloudNetwork { seed, ..CloudNetwork::default() }),
+        ..config(400)
+    };
+    let on_device = run_fleet(&s, &config(400)).expect("fleet runs");
+    let a = run_fleet(&s, &cloud(11)).expect("fleet runs");
+    let b = run_fleet(&s, &cloud(11)).expect("fleet runs");
+
+    assert!(on_device.network.is_none());
+    let (net_a, net_b) = (a.network.expect("cloud path"), b.network.expect("cloud path"));
+    assert_eq!(net_a, net_b, "round trips are a pure function of the seeds");
+    assert_eq!(net_a.requests, 400, "no timeouts configured, nothing drops");
+    assert_eq!(net_a.dropped, 0);
+
+    // The round trip strictly dominates cloud-side serving latency: it
+    // adds two transfers (uplink + shared egress) around the compute.
+    assert!(net_a.rtt_p95_us > a.report.p95_us);
+    assert!(net_a.rtt_p50_us <= net_a.rtt_p95_us && net_a.rtt_p95_us <= net_a.rtt_p99_us);
+    // Bursty arrivals on a shared egress must actually queue.
+    assert!(net_a.egress_wait_p95_us > 0, "shared egress must see contention");
+
+    // A different fleet seed deals different links and changes the trace.
+    let c = run_fleet(&s, &cloud(12)).expect("fleet runs");
+    assert_ne!(net_a.fingerprint, c.network.expect("cloud path").fingerprint);
 }

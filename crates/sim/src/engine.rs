@@ -1,0 +1,890 @@
+//! The discrete-event engine: virtual clock, binary-heap event queue,
+//! shared-bandwidth links, timeouts and retry-with-backoff.
+//!
+//! A [`JobSpec`] is a sequence of [`Stage`]s — fixed-duration compute or a
+//! byte transfer over one of the simulator's links — executed strictly in
+//! order. Transfers contend: a [`Discipline::Fifo`] link serves one
+//! transfer at a time in arrival order, a [`Discipline::FairShare`] link
+//! drains every in-flight transfer at `bandwidth / n`. Each transfer
+//! attempt can carry a timeout (measured from submission, so an attempt
+//! can expire while still queued) and a [`RetryPolicy`] that resubmits
+//! with exponential backoff until attempts run out.
+//!
+//! Determinism: the event heap orders by `(time, insertion sequence)`, so
+//! simultaneous events resolve in scheduling order and the entire run —
+//! event trace included — is a pure function of the links and job specs.
+//! There is no randomness anywhere in the engine; seeds only enter through
+//! what callers build (e.g. [`crate::LinkMix::assign`]).
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::link::{Discipline, LinkSpec};
+use crate::trace::TraceEvent;
+
+/// Retry-with-backoff policy for failed (timed-out) transfer attempts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed (>= 1; 1 means no retries).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, in microseconds.
+    pub backoff_us: u64,
+    /// Multiplier applied to the backoff after each further failure.
+    pub backoff_factor: f64,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, fail on timeout.
+    pub fn none() -> Self {
+        Self { max_attempts: 1, backoff_us: 0, backoff_factor: 1.0 }
+    }
+
+    /// Exponential backoff: up to `max_attempts` attempts, waiting
+    /// `backoff_us * factor^(k-1)` after the `k`-th failure.
+    pub fn exponential(max_attempts: u32, backoff_us: u64, factor: f64) -> Self {
+        Self { max_attempts, backoff_us, backoff_factor: factor }
+    }
+
+    /// Backoff after `failed_attempts` failures (1-based).
+    pub fn backoff_after(&self, failed_attempts: u32) -> u64 {
+        let exp = failed_attempts.saturating_sub(1) as i32;
+        (self.backoff_us as f64 * self.backoff_factor.powi(exp)).round() as u64
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Timeout + retry knobs of one transfer stage.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TransferPolicy {
+    /// Per-attempt timeout measured from submission (`None` = never).
+    pub timeout_us: Option<u64>,
+    /// What happens after a timeout.
+    pub retry: RetryPolicy,
+}
+
+/// One step of a job's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Stage {
+    /// Occupy the job (not any link) for a fixed simulated duration.
+    Compute {
+        /// Stage label for reports (`train`, `audit`, ...).
+        label: &'static str,
+        /// Duration in microseconds.
+        duration_us: u64,
+    },
+    /// Move bytes across a link, contending with other transfers.
+    Transfer {
+        /// Stage label for reports (`download`, `upload`, ...).
+        label: &'static str,
+        /// Index into the simulator's link table.
+        link: usize,
+        /// Payload size.
+        bytes: u64,
+        /// Timeout/retry policy.
+        policy: TransferPolicy,
+    },
+}
+
+impl Stage {
+    /// The stage's report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Stage::Compute { label, .. } | Stage::Transfer { label, .. } => label,
+        }
+    }
+}
+
+/// One job: released at a time, then runs its stages strictly in order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Caller-assigned id carried through traces and reports.
+    pub id: u64,
+    /// Simulated release time (µs).
+    pub release_us: u64,
+    /// Stages, executed front to back.
+    pub stages: Vec<Stage>,
+}
+
+/// How a job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Every stage finished.
+    Completed,
+    /// A transfer stage exhausted its attempts.
+    TimedOut {
+        /// Index of the failed stage.
+        stage: usize,
+    },
+}
+
+/// Per-stage accounting of one finished (or failed) stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageReport {
+    /// The stage's label.
+    pub label: &'static str,
+    /// When the stage was first submitted (µs).
+    pub submitted_us: u64,
+    /// When it completed or was abandoned (µs).
+    pub completed_us: u64,
+    /// Uncontended single-attempt cost: `duration_us` for compute,
+    /// latency + serialization for transfers (the empty-link FIFO bound).
+    pub ideal_us: u64,
+    /// Transfer attempts spent (1 for compute stages).
+    pub attempts: u32,
+}
+
+impl StageReport {
+    /// Wall span of the stage (includes queueing, sharing and backoffs).
+    pub fn span_us(&self) -> u64 {
+        self.completed_us - self.submitted_us
+    }
+
+    /// Contention-added delay: span minus the uncontended ideal.
+    pub fn wait_us(&self) -> u64 {
+        self.span_us().saturating_sub(self.ideal_us)
+    }
+}
+
+/// One job's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// The spec's id.
+    pub id: u64,
+    /// Release time (µs).
+    pub release_us: u64,
+    /// Completion (or failure) time (µs).
+    pub end_us: u64,
+    /// Completed or timed out.
+    pub status: JobStatus,
+    /// Stage-by-stage accounting, up to and including the failing stage.
+    pub stages: Vec<StageReport>,
+}
+
+impl JobReport {
+    /// End-to-end span from release to completion/failure.
+    pub fn total_us(&self) -> u64 {
+        self.end_us - self.release_us
+    }
+
+    /// The report of the stage with `label`, if the job reached it.
+    pub fn stage(&self, label: &str) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.label == label)
+    }
+}
+
+/// A finished simulation: per-job reports (spec order) plus the full
+/// event trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Per-job reports, in spec order.
+    pub jobs: Vec<JobReport>,
+    /// Every engine transition, in execution order.
+    pub trace: Vec<TraceEvent>,
+}
+
+impl SimOutcome {
+    /// Determinism fingerprint of the trace (see [`crate::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        crate::trace::fingerprint(&self.trace)
+    }
+
+    /// Jobs that completed every stage.
+    pub fn completed(&self) -> impl Iterator<Item = &JobReport> {
+        self.jobs.iter().filter(|j| j.status == JobStatus::Completed)
+    }
+
+    /// Number of jobs that failed (exhausted transfer retries).
+    pub fn timed_out(&self) -> usize {
+        self.jobs.iter().filter(|j| matches!(j.status, JobStatus::TimedOut { .. })).count()
+    }
+}
+
+/// The discrete-event simulator over a fixed link table.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    links: Vec<LinkSpec>,
+}
+
+impl Simulator {
+    /// Creates a simulator over `links` (transfers index into this table).
+    pub fn new(links: Vec<LinkSpec>) -> Self {
+        Self { links }
+    }
+
+    /// Number of links in the table.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Runs every job to completion or failure and returns reports plus
+    /// the event trace. Pure: identical inputs give bit-identical outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transfer references a link outside the table or a
+    /// retry policy allows zero attempts.
+    pub fn run(&self, specs: &[JobSpec]) -> SimOutcome {
+        for spec in specs {
+            for stage in &spec.stages {
+                if let Stage::Transfer { link, policy, .. } = stage {
+                    assert!(*link < self.links.len(), "transfer references unknown link {link}");
+                    assert!(policy.retry.max_attempts >= 1, "retry policy needs >= 1 attempt");
+                }
+            }
+        }
+        let mut runner = Runner::new(&self.links, specs);
+        runner.run();
+        runner.into_outcome()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine internals.
+// ---------------------------------------------------------------------
+
+/// Heap entry: ordered by `(at, seq)` so ties resolve in scheduling order.
+#[derive(Debug)]
+struct Scheduled {
+    at: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    Release { job: usize },
+    ComputeDone { job: usize, stage: usize },
+    FifoDone { link: usize, token: u64 },
+    FairJoin { link: usize, job: usize, stage: usize, attempt: u32 },
+    FairCheck { link: usize, epoch: u64 },
+    Timeout { job: usize, stage: usize, attempt: u32 },
+    Resubmit { job: usize, stage: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QueuedXfer {
+    job: usize,
+    stage: usize,
+    attempt: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Flow {
+    job: usize,
+    stage: usize,
+    attempt: u32,
+    remaining: f64,
+}
+
+#[derive(Debug)]
+enum LinkState {
+    Fifo { queue: VecDeque<QueuedXfer>, current: Option<QueuedXfer>, token: u64 },
+    Fair { flows: Vec<Flow>, last_us: u64, epoch: u64 },
+}
+
+#[derive(Debug)]
+struct JobRun {
+    cursor: usize,
+    attempt: u32,
+    status: Option<JobStatus>,
+    stages: Vec<StageReport>,
+}
+
+struct Runner<'a> {
+    links: &'a [LinkSpec],
+    specs: &'a [JobSpec],
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    link_states: Vec<LinkState>,
+    jobs: Vec<JobRun>,
+    trace: Vec<TraceEvent>,
+}
+
+impl<'a> Runner<'a> {
+    fn new(links: &'a [LinkSpec], specs: &'a [JobSpec]) -> Self {
+        let link_states = links
+            .iter()
+            .map(|l| match l.discipline {
+                Discipline::Fifo => {
+                    LinkState::Fifo { queue: VecDeque::new(), current: None, token: 0 }
+                }
+                Discipline::FairShare => {
+                    LinkState::Fair { flows: Vec::new(), last_us: 0, epoch: 0 }
+                }
+            })
+            .collect();
+        let jobs = specs
+            .iter()
+            .map(|_| JobRun { cursor: 0, attempt: 1, status: None, stages: Vec::new() })
+            .collect();
+        let mut runner = Self {
+            links,
+            specs,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            link_states,
+            jobs,
+            trace: Vec::new(),
+        };
+        for (j, spec) in specs.iter().enumerate() {
+            runner.push(spec.release_us, Ev::Release { job: j });
+        }
+        runner
+    }
+
+    fn push(&mut self, at: u64, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq: self.seq, ev }));
+    }
+
+    fn id(&self, j: usize) -> u64 {
+        self.specs[j].id
+    }
+
+    /// Whether an event for `(job, stage, attempt)` still refers to the
+    /// job's live transfer attempt.
+    fn live(&self, j: usize, stage: usize, attempt: u32) -> bool {
+        let job = &self.jobs[j];
+        job.status.is_none() && job.cursor == stage && job.attempt == attempt
+    }
+
+    fn run(&mut self) {
+        while let Some(Reverse(Scheduled { at, ev, .. })) = self.heap.pop() {
+            match ev {
+                Ev::Release { job } => {
+                    self.trace.push(TraceEvent::JobReleased { t: at, job: self.id(job) });
+                    self.start_stage(job, at);
+                }
+                Ev::ComputeDone { job, stage } => {
+                    if self.jobs[job].status.is_none() && self.jobs[job].cursor == stage {
+                        self.trace.push(TraceEvent::ComputeFinished {
+                            t: at,
+                            job: self.id(job),
+                            stage,
+                        });
+                        self.complete_stage(job, at);
+                    }
+                }
+                Ev::FifoDone { link, token } => self.fifo_done(link, token, at),
+                Ev::FairJoin { link, job, stage, attempt } => {
+                    if self.live(job, stage, attempt) {
+                        self.fair_join(link, job, stage, attempt, at);
+                    }
+                }
+                Ev::FairCheck { link, epoch } => self.fair_check(link, epoch, at),
+                Ev::Timeout { job, stage, attempt } => {
+                    if self.live(job, stage, attempt) {
+                        self.timeout(job, stage, attempt, at);
+                    }
+                }
+                Ev::Resubmit { job, stage } => {
+                    if self.jobs[job].status.is_none() && self.jobs[job].cursor == stage {
+                        self.submit_transfer(job, at, false);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Enters the job's current stage at time `t` (or completes the job
+    /// if no stages remain).
+    fn start_stage(&mut self, j: usize, t: u64) {
+        let Some(stage) = self.specs[j].stages.get(self.jobs[j].cursor) else {
+            self.jobs[j].status = Some(JobStatus::Completed);
+            self.trace.push(TraceEvent::JobCompleted { t, job: self.id(j) });
+            return;
+        };
+        match *stage {
+            Stage::Compute { label, duration_us } => {
+                let cursor = self.jobs[j].cursor;
+                self.jobs[j].stages.push(StageReport {
+                    label,
+                    submitted_us: t,
+                    completed_us: 0,
+                    ideal_us: duration_us,
+                    attempts: 1,
+                });
+                self.trace.push(TraceEvent::ComputeStarted { t, job: self.id(j), stage: cursor });
+                self.push(t + duration_us, Ev::ComputeDone { job: j, stage: cursor });
+            }
+            Stage::Transfer { label, link, bytes, .. } => {
+                self.jobs[j].attempt = 1;
+                self.jobs[j].stages.push(StageReport {
+                    label,
+                    submitted_us: t,
+                    completed_us: 0,
+                    ideal_us: self.links[link].profile.transfer_us(bytes),
+                    attempts: 1,
+                });
+                self.submit_transfer(j, t, true);
+            }
+        }
+    }
+
+    /// Submits the current transfer attempt to its link. `first` is false
+    /// for retry resubmissions (the stage report keeps its original
+    /// submission time).
+    fn submit_transfer(&mut self, j: usize, t: u64, first: bool) {
+        let stage = self.jobs[j].cursor;
+        let Stage::Transfer { link, policy, .. } = self.specs[j].stages[stage] else {
+            unreachable!("submit_transfer on a compute stage");
+        };
+        let attempt = self.jobs[j].attempt;
+        if !first {
+            self.jobs[j].stages.last_mut().expect("stage report exists").attempts = attempt;
+        }
+        self.trace.push(TraceEvent::TransferQueued { t, job: self.id(j), stage, link, attempt });
+        if let Some(timeout_us) = policy.timeout_us {
+            self.push(t + timeout_us, Ev::Timeout { job: j, stage, attempt });
+        }
+        let start_fifo = match &mut self.link_states[link] {
+            LinkState::Fifo { queue, current, .. } => {
+                queue.push_back(QueuedXfer { job: j, stage, attempt });
+                current.is_none()
+            }
+            LinkState::Fair { .. } => false,
+        };
+        match self.links[link].discipline {
+            Discipline::Fifo => {
+                if start_fifo {
+                    self.fifo_start_next(link, t);
+                }
+            }
+            Discipline::FairShare => {
+                let latency = self.links[link].profile.latency_us;
+                self.push(t + latency, Ev::FairJoin { link, job: j, stage, attempt });
+            }
+        }
+    }
+
+    /// Starts the next queued FIFO transfer if the link is idle. (It may
+    /// already be busy again: completing a transfer can submit the same
+    /// job's next stage to the same link, which restarts service before
+    /// the completion handler regains control.)
+    fn fifo_start_next(&mut self, link: usize, t: u64) {
+        let LinkState::Fifo { queue, current, token } = &mut self.link_states[link] else {
+            unreachable!("fifo_start_next on a fair-share link");
+        };
+        if current.is_some() {
+            return;
+        }
+        let Some(next) = queue.pop_front() else { return };
+        *current = Some(next);
+        *token += 1;
+        let token = *token;
+        let Stage::Transfer { bytes, .. } = self.specs[next.job].stages[next.stage] else {
+            unreachable!("queued transfer is a transfer stage");
+        };
+        let service = self.links[link].profile.transfer_us(bytes);
+        self.trace.push(TraceEvent::TransferStarted {
+            t,
+            job: self.id(next.job),
+            stage: next.stage,
+            link,
+            attempt: next.attempt,
+        });
+        self.push(t + service, Ev::FifoDone { link, token });
+    }
+
+    fn fifo_done(&mut self, link: usize, token: u64, t: u64) {
+        let LinkState::Fifo { current, token: cur_token, .. } = &mut self.link_states[link] else {
+            return;
+        };
+        if *cur_token != token {
+            return; // the in-flight transfer was aborted by a timeout
+        }
+        let done = current.take().expect("live token implies an in-flight transfer");
+        self.trace.push(TraceEvent::TransferCompleted {
+            t,
+            job: self.id(done.job),
+            stage: done.stage,
+            link,
+            attempt: done.attempt,
+        });
+        self.complete_stage(done.job, t);
+        self.fifo_start_next(link, t);
+    }
+
+    /// Drains every active fair-share flow up to `t` at the equal-share
+    /// rate. Must run before any flow-set mutation.
+    fn fair_advance(&mut self, link: usize, t: u64) {
+        let bytes_per_sec = self.links[link].profile.bytes_per_sec;
+        let LinkState::Fair { flows, last_us, .. } = &mut self.link_states[link] else {
+            unreachable!("fair_advance on a FIFO link");
+        };
+        let elapsed = t - *last_us;
+        *last_us = t;
+        if flows.is_empty() || elapsed == 0 {
+            return;
+        }
+        let drained = elapsed as f64 * bytes_per_sec / flows.len() as f64 / 1e6;
+        for flow in flows.iter_mut() {
+            flow.remaining -= drained;
+        }
+    }
+
+    /// Schedules the next completion check for a fair-share link.
+    fn fair_schedule(&mut self, link: usize, t: u64) {
+        let bytes_per_sec = self.links[link].profile.bytes_per_sec;
+        let LinkState::Fair { flows, epoch, .. } = &mut self.link_states[link] else {
+            unreachable!("fair_schedule on a FIFO link");
+        };
+        let Some(min_remaining) = flows.iter().map(|f| f.remaining).reduce(f64::min) else {
+            return;
+        };
+        let epoch = *epoch;
+        let per_flow_us = bytes_per_sec / flows.len() as f64 / 1e6;
+        let dt = (min_remaining.max(0.0) / per_flow_us).ceil() as u64;
+        self.push(t + dt, Ev::FairCheck { link, epoch });
+    }
+
+    fn fair_join(&mut self, link: usize, j: usize, stage: usize, attempt: u32, t: u64) {
+        self.fair_advance(link, t);
+        let Stage::Transfer { bytes, .. } = self.specs[j].stages[stage] else {
+            unreachable!("joined transfer is a transfer stage");
+        };
+        self.trace.push(TraceEvent::TransferStarted { t, job: self.id(j), stage, link, attempt });
+        let LinkState::Fair { flows, epoch, .. } = &mut self.link_states[link] else {
+            unreachable!("fair_join on a FIFO link");
+        };
+        flows.push(Flow { job: j, stage, attempt, remaining: bytes as f64 });
+        *epoch += 1;
+        self.fair_schedule(link, t);
+    }
+
+    fn fair_check(&mut self, link: usize, epoch: u64, t: u64) {
+        {
+            let LinkState::Fair { epoch: cur, .. } = &self.link_states[link] else { return };
+            if *cur != epoch {
+                return; // the flow set changed since this check was scheduled
+            }
+        }
+        self.fair_advance(link, t);
+        let done: Vec<Flow> = {
+            let LinkState::Fair { flows, epoch, .. } = &mut self.link_states[link] else {
+                unreachable!("fair_check on a FIFO link");
+            };
+            // Half a byte of slack absorbs float rounding in the drain.
+            let finished: Vec<Flow> =
+                flows.iter().copied().filter(|f| f.remaining <= 0.5).collect();
+            flows.retain(|f| f.remaining > 0.5);
+            *epoch += 1;
+            finished
+        };
+        for flow in done {
+            self.trace.push(TraceEvent::TransferCompleted {
+                t,
+                job: self.id(flow.job),
+                stage: flow.stage,
+                link,
+                attempt: flow.attempt,
+            });
+            self.complete_stage(flow.job, t);
+        }
+        self.fair_schedule(link, t);
+    }
+
+    fn timeout(&mut self, j: usize, stage: usize, attempt: u32, t: u64) {
+        let Stage::Transfer { link, policy, .. } = self.specs[j].stages[stage] else {
+            unreachable!("timeout on a compute stage");
+        };
+        // Withdraw the attempt from wherever it currently lives. A
+        // pending FairJoin needs no removal: bumping the attempt below
+        // invalidates it.
+        let (start_fifo, drop_flow) = match &mut self.link_states[link] {
+            LinkState::Fifo { queue, current, token } => {
+                if current.is_some_and(|c| c.job == j && c.attempt == attempt) {
+                    *current = None;
+                    *token += 1; // orphan the in-flight FifoDone
+                    (true, false)
+                } else {
+                    queue.retain(|q| !(q.job == j && q.attempt == attempt));
+                    (false, false)
+                }
+            }
+            LinkState::Fair { flows, .. } => {
+                (false, flows.iter().any(|f| f.job == j && f.attempt == attempt))
+            }
+        };
+        if start_fifo {
+            self.fifo_start_next(link, t);
+        }
+        if drop_flow {
+            self.fair_advance(link, t);
+            let LinkState::Fair { flows, epoch, .. } = &mut self.link_states[link] else {
+                unreachable!("drop_flow only set for fair-share links");
+            };
+            flows.retain(|f| !(f.job == j && f.attempt == attempt));
+            *epoch += 1;
+            self.fair_schedule(link, t);
+        }
+        self.trace.push(TraceEvent::TransferTimedOut { t, job: self.id(j), stage, link, attempt });
+        if attempt < policy.retry.max_attempts {
+            self.jobs[j].attempt = attempt + 1;
+            let backoff = policy.retry.backoff_after(attempt);
+            self.push(t + backoff, Ev::Resubmit { job: j, stage });
+        } else {
+            self.trace.push(TraceEvent::TransferAbandoned {
+                t,
+                job: self.id(j),
+                stage,
+                link,
+                attempts: attempt,
+            });
+            let report = self.jobs[j].stages.last_mut().expect("stage report exists");
+            report.completed_us = t;
+            report.attempts = attempt;
+            self.jobs[j].status = Some(JobStatus::TimedOut { stage });
+        }
+    }
+
+    /// Finishes the job's current stage at `t` and enters the next one.
+    fn complete_stage(&mut self, j: usize, t: u64) {
+        let job = &mut self.jobs[j];
+        let report = job.stages.last_mut().expect("stage report exists");
+        report.completed_us = t;
+        report.attempts = job.attempt;
+        job.cursor += 1;
+        job.attempt = 1;
+        self.start_stage(j, t);
+    }
+
+    fn into_outcome(self) -> SimOutcome {
+        let jobs = self
+            .jobs
+            .into_iter()
+            .zip(self.specs)
+            .map(|(run, spec)| {
+                let status = run.status.expect("event loop runs every job to a terminal state");
+                let end_us = match status {
+                    JobStatus::Completed => {
+                        run.stages.last().map_or(spec.release_us, |s| s.completed_us)
+                    }
+                    JobStatus::TimedOut { .. } => {
+                        run.stages.last().expect("failed job has a failing stage").completed_us
+                    }
+                };
+                JobReport {
+                    id: spec.id,
+                    release_us: spec.release_us,
+                    end_us,
+                    status,
+                    stages: run.stages,
+                }
+            })
+            .collect();
+        SimOutcome { jobs, trace: self.trace }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkProfile;
+
+    fn wifi_fifo() -> LinkSpec {
+        LinkSpec::fifo(LinkProfile::wifi())
+    }
+
+    fn xfer(link: usize, bytes: u64) -> Stage {
+        Stage::Transfer { label: "xfer", link, bytes, policy: TransferPolicy::default() }
+    }
+
+    #[test]
+    fn lone_transfer_pays_exactly_the_ideal() {
+        let sim = Simulator::new(vec![wifi_fifo(), LinkSpec::fair(LinkProfile::wifi())]);
+        for link in [0usize, 1] {
+            let out =
+                sim.run(&[JobSpec { id: 9, release_us: 100, stages: vec![xfer(link, 1_250_000)] }]);
+            let job = &out.jobs[0];
+            assert_eq!(job.status, JobStatus::Completed);
+            // 8 ms latency + 1.25 MB / 12.5 MB/s = 100 ms.
+            assert_eq!(job.total_us(), 108_000, "link {link}");
+            assert_eq!(job.stages[0].wait_us(), 0);
+        }
+    }
+
+    #[test]
+    fn fifo_serializes_and_fair_share_splits() {
+        let jobs: Vec<JobSpec> = (0..2)
+            .map(|i| JobSpec { id: i, release_us: 0, stages: vec![xfer(0, 1_250_000)] })
+            .collect();
+        let fifo = Simulator::new(vec![wifi_fifo()]).run(&jobs);
+        let fair = Simulator::new(vec![LinkSpec::fair(LinkProfile::wifi())]).run(&jobs);
+        // FIFO: first job unaffected, second waits a full service.
+        assert_eq!(fifo.jobs[0].end_us, 108_000);
+        assert_eq!(fifo.jobs[1].end_us, 216_000);
+        // Fair share: both drain at half rate and finish together, later
+        // than either would alone but before the FIFO stern.
+        assert_eq!(fair.jobs[0].end_us, fair.jobs[1].end_us);
+        assert!(fair.jobs[0].end_us > 108_000);
+        assert!(fair.jobs[1].end_us < 216_000);
+        for job in fair.jobs.iter().chain(&fifo.jobs) {
+            assert!(job.stages[0].span_us() >= job.stages[0].ideal_us);
+        }
+    }
+
+    #[test]
+    fn compute_overlaps_other_jobs_transfers() {
+        // Job 0 computes while job 1 transfers; neither delays the other.
+        let jobs = vec![
+            JobSpec {
+                id: 0,
+                release_us: 0,
+                stages: vec![Stage::Compute { label: "train", duration_us: 50_000 }],
+            },
+            JobSpec { id: 1, release_us: 0, stages: vec![xfer(0, 125_000)] },
+        ];
+        let out = Simulator::new(vec![wifi_fifo()]).run(&jobs);
+        assert_eq!(out.jobs[0].end_us, 50_000);
+        assert_eq!(out.jobs[1].end_us, 18_000);
+    }
+
+    #[test]
+    fn timeout_without_retry_fails_the_job() {
+        let policy = TransferPolicy { timeout_us: Some(10_000), retry: RetryPolicy::none() };
+        // 1.25 MB at 12.5 MB/s needs 108 ms total, far past the 10 ms cap.
+        let jobs = vec![JobSpec {
+            id: 0,
+            release_us: 0,
+            stages: vec![Stage::Transfer { label: "up", link: 0, bytes: 1_250_000, policy }],
+        }];
+        let out = Simulator::new(vec![wifi_fifo()]).run(&jobs);
+        assert_eq!(out.jobs[0].status, JobStatus::TimedOut { stage: 0 });
+        assert_eq!(out.jobs[0].end_us, 10_000);
+        assert_eq!(out.timed_out(), 1);
+        assert!(out.trace.iter().any(|e| matches!(e, TraceEvent::TransferAbandoned { .. })));
+    }
+
+    #[test]
+    fn retries_back_off_and_eventually_succeed_when_the_link_clears() {
+        // A fat transfer hogs the FIFO link; a small one behind it times
+        // out twice in queue, then succeeds on the third attempt.
+        let small_policy = TransferPolicy {
+            timeout_us: Some(30_000),
+            retry: RetryPolicy::exponential(5, 20_000, 2.0),
+        };
+        let jobs = vec![
+            JobSpec { id: 0, release_us: 0, stages: vec![xfer(0, 1_250_000)] },
+            JobSpec {
+                id: 1,
+                release_us: 0,
+                stages: vec![Stage::Transfer {
+                    label: "up",
+                    link: 0,
+                    bytes: 12_500,
+                    policy: small_policy,
+                }],
+            },
+        ];
+        let out = Simulator::new(vec![wifi_fifo()]).run(&jobs);
+        assert_eq!(out.jobs[1].status, JobStatus::Completed);
+        assert!(out.jobs[1].stages[0].attempts > 1, "first attempt must have timed out");
+        let timeouts = out
+            .trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::TransferTimedOut { job: 1, .. }))
+            .count();
+        assert_eq!(timeouts as u32 + 1, out.jobs[1].stages[0].attempts);
+        assert_eq!(out.timed_out(), 0);
+    }
+
+    #[test]
+    fn stages_run_strictly_in_order() {
+        let jobs = vec![JobSpec {
+            id: 3,
+            release_us: 1_000,
+            stages: vec![
+                xfer(0, 125_000),
+                Stage::Compute { label: "train", duration_us: 40_000 },
+                xfer(0, 12_500),
+            ],
+        }];
+        let out = Simulator::new(vec![wifi_fifo()]).run(&jobs);
+        let job = &out.jobs[0];
+        assert_eq!(job.status, JobStatus::Completed);
+        assert_eq!(job.stages.len(), 3);
+        for pair in job.stages.windows(2) {
+            assert_eq!(pair[1].submitted_us, pair[0].completed_us, "stages chain without gaps");
+        }
+        let total: u64 = job.stages.iter().map(|s| s.span_us()).sum();
+        assert_eq!(job.total_us(), total, "per-stage spans add up to the whole job");
+    }
+
+    #[test]
+    fn empty_stage_lists_and_zero_byte_transfers_complete() {
+        let out = Simulator::new(vec![wifi_fifo(), LinkSpec::fair(LinkProfile::wifi())]).run(&[
+            JobSpec { id: 0, release_us: 5, stages: Vec::new() },
+            JobSpec { id: 1, release_us: 5, stages: vec![xfer(0, 0)] },
+            JobSpec { id: 2, release_us: 5, stages: vec![xfer(1, 0)] },
+        ]);
+        assert_eq!(out.timed_out(), 0);
+        assert_eq!(out.jobs[0].end_us, 5);
+        // Zero bytes still pay propagation latency.
+        assert_eq!(out.jobs[1].end_us, 5 + 8_000);
+        assert_eq!(out.jobs[2].end_us, 5 + 8_000);
+    }
+
+    #[test]
+    fn identical_inputs_give_bit_identical_traces() {
+        let jobs: Vec<JobSpec> = (0..8)
+            .map(|i| JobSpec {
+                id: i,
+                release_us: i * 500,
+                stages: vec![
+                    xfer(1, 40_000 + i * 1_000),
+                    Stage::Compute { label: "train", duration_us: 9_000 },
+                    Stage::Transfer {
+                        label: "up",
+                        link: 0,
+                        bytes: 30_000,
+                        policy: TransferPolicy {
+                            timeout_us: Some(25_000),
+                            retry: RetryPolicy::exponential(3, 5_000, 2.0),
+                        },
+                    },
+                ],
+            })
+            .collect();
+        let sim = Simulator::new(vec![
+            LinkSpec::fifo(LinkProfile::cellular()),
+            LinkSpec::fair(LinkProfile::wifi()),
+        ]);
+        let a = sim.run(&jobs);
+        let b = sim.run(&jobs);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.jobs, b.jobs);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let retry = RetryPolicy::exponential(4, 10_000, 2.0);
+        assert_eq!(retry.backoff_after(1), 10_000);
+        assert_eq!(retry.backoff_after(2), 20_000);
+        assert_eq!(retry.backoff_after(3), 40_000);
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Latency breakdowns over finished simulations.
+//!
+//! Per-stage splits use the workspace's shared nearest-rank percentile
+//! helper ([`pelican_tensor::nearest_rank`]), the same definition the
+//! serving metrics and training reports use, so numbers are comparable
+//! across subsystems.
+
+use pelican_tensor::nearest_rank;
+
+use crate::engine::{JobReport, SimOutcome};
+
+/// Percentile summary of one stage label across completed jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageStats {
+    /// The stage label summarized.
+    pub label: &'static str,
+    /// Completed jobs that reached the stage.
+    pub jobs: usize,
+    /// Median contention-added wait (µs).
+    pub wait_p50_us: u64,
+    /// 95th-percentile contention-added wait (µs).
+    pub wait_p95_us: u64,
+    /// Median stage span (µs).
+    pub span_p50_us: u64,
+    /// 95th-percentile stage span (µs).
+    pub span_p95_us: u64,
+    /// Total retry attempts beyond the first, summed over jobs.
+    pub retries: u64,
+}
+
+/// Summarizes `label` stages over the completed jobs of an outcome.
+pub fn stage_stats(outcome: &SimOutcome, label: &'static str) -> StageStats {
+    let stages: Vec<_> = outcome.completed().filter_map(|j| j.stage(label)).collect();
+    let mut waits: Vec<u64> = stages.iter().map(|s| s.wait_us()).collect();
+    let mut spans: Vec<u64> = stages.iter().map(|s| s.span_us()).collect();
+    waits.sort_unstable();
+    spans.sort_unstable();
+    StageStats {
+        label,
+        jobs: stages.len(),
+        wait_p50_us: nearest_rank(&waits, 0.50).unwrap_or(0),
+        wait_p95_us: nearest_rank(&waits, 0.95).unwrap_or(0),
+        span_p50_us: nearest_rank(&spans, 0.50).unwrap_or(0),
+        span_p95_us: nearest_rank(&spans, 0.95).unwrap_or(0),
+        retries: stages.iter().map(|s| (s.attempts - 1) as u64).sum(),
+    }
+}
+
+/// Nearest-rank percentile of end-to-end job spans (release → done) over
+/// completed jobs; 0 if none completed.
+pub fn completion_percentile(outcome: &SimOutcome, q: f64) -> u64 {
+    let mut totals: Vec<u64> = outcome.completed().map(JobReport::total_us).collect();
+    totals.sort_unstable();
+    nearest_rank(&totals, q).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{JobSpec, Simulator, Stage, TransferPolicy};
+    use crate::link::{LinkProfile, LinkSpec};
+
+    fn outcome() -> SimOutcome {
+        let jobs: Vec<JobSpec> = (0..4)
+            .map(|i| JobSpec {
+                id: i,
+                release_us: 0,
+                stages: vec![
+                    Stage::Transfer {
+                        label: "upload",
+                        link: 0,
+                        bytes: 125_000,
+                        policy: TransferPolicy::default(),
+                    },
+                    Stage::Compute { label: "train", duration_us: 10_000 },
+                ],
+            })
+            .collect();
+        Simulator::new(vec![LinkSpec::fifo(LinkProfile::wifi())]).run(&jobs)
+    }
+
+    #[test]
+    fn stage_stats_capture_queueing() {
+        let out = outcome();
+        let upload = stage_stats(&out, "upload");
+        assert_eq!(upload.jobs, 4);
+        // Four 18 ms uploads serialize on one FIFO link: the p95 job
+        // queued behind three others.
+        assert_eq!(upload.span_p50_us, 36_000);
+        assert_eq!(upload.wait_p95_us, 54_000);
+        assert_eq!(upload.retries, 0);
+        let train = stage_stats(&out, "train");
+        assert_eq!(train.wait_p95_us, 0, "compute never queues");
+        assert_eq!(train.span_p50_us, 10_000);
+    }
+
+    #[test]
+    fn completion_percentiles_cover_the_whole_job() {
+        let out = outcome();
+        assert_eq!(completion_percentile(&out, 0.95), 72_000 + 10_000);
+        assert!(completion_percentile(&out, 0.50) < completion_percentile(&out, 0.95));
+        let empty = Simulator::new(vec![]).run(&[]);
+        assert_eq!(completion_percentile(&empty, 0.95), 0);
+        assert_eq!(stage_stats(&empty, "upload").jobs, 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Property tests for the discrete-event engine's core contracts:
+//!
+//! * **Conservation** — every started transfer attempt resolves exactly
+//!   once (completed or timed out), and every transfer stage a job enters
+//!   ends in exactly one terminal event (completed or abandoned), for
+//!   arbitrary link tables, job shapes, timeouts and retry policies.
+//! * **Determinism** — the event trace is a pure function of the seed:
+//!   same seed ⇒ bit-identical traces and fingerprints, different seeds
+//!   ⇒ (generically) different fleets.
+//! * **Fair-share lower bound** — processor sharing can only slow a
+//!   transfer down: no completed transfer beats the empty-link FIFO time
+//!   (latency + bytes/bandwidth), under any contention.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use pelican_sim::{
+    Discipline, JobSpec, JobStatus, LinkMix, LinkSpec, RetryPolicy, SimOutcome, Simulator, Stage,
+    StragglerConfig, TraceEvent, TransferPolicy,
+};
+
+/// Builds a deterministic random fleet workload from one seed word.
+/// Every quantity is derived with `mix64`, so the workload is a pure
+/// function of `seed` — the property the determinism test pins down.
+fn workload(seed: u64, links: usize, jobs: usize) -> (Simulator, Vec<JobSpec>) {
+    let mix = LinkMix::campus().with_stragglers(StragglerConfig { fraction: 0.2, slowdown: 6.0 });
+    let link_table: Vec<LinkSpec> = (0..links)
+        .map(|l| {
+            let dealt = mix.assign(seed, l as u64);
+            if pelican_sim::mix64(seed ^ l as u64).is_multiple_of(2) {
+                LinkSpec::fifo(dealt.profile)
+            } else {
+                LinkSpec::fair(dealt.profile)
+            }
+        })
+        .collect();
+    let specs: Vec<JobSpec> = (0..jobs)
+        .map(|j| {
+            let h = pelican_sim::mix64(seed.wrapping_add(0x10B ^ j as u64));
+            let n_stages = 1 + (h % 3) as usize;
+            let stages = (0..n_stages)
+                .map(|s| {
+                    let hs = pelican_sim::mix64(h ^ (s as u64) << 7);
+                    if hs.is_multiple_of(3) {
+                        Stage::Compute { label: "compute", duration_us: hs % 50_000 }
+                    } else {
+                        let timeout_us =
+                            if hs.is_multiple_of(5) { Some(5_000 + hs % 80_000) } else { None };
+                        let retry = if hs % 7 < 3 {
+                            RetryPolicy::none()
+                        } else {
+                            RetryPolicy::exponential(1 + (hs % 4) as u32, 4_000, 2.0)
+                        };
+                        Stage::Transfer {
+                            label: "transfer",
+                            link: (hs % link_table.len() as u64) as usize,
+                            bytes: hs % 2_000_000,
+                            policy: TransferPolicy { timeout_us, retry },
+                        }
+                    }
+                })
+                .collect();
+            JobSpec { id: j as u64, release_us: h % 200_000, stages }
+        })
+        .collect();
+    (Simulator::new(link_table), specs)
+}
+
+/// Per-attempt resolution counts keyed by `(job, stage, attempt)`.
+fn attempt_resolutions(outcome: &SimOutcome) -> HashMap<(u64, usize, u32), (usize, usize)> {
+    let mut seen: HashMap<(u64, usize, u32), (usize, usize)> = HashMap::new();
+    for event in &outcome.trace {
+        match *event {
+            TraceEvent::TransferQueued { job, stage, attempt, .. } => {
+                seen.entry((job, stage, attempt)).or_insert((0, 0)).0 += 1;
+            }
+            TraceEvent::TransferCompleted { job, stage, attempt, .. }
+            | TraceEvent::TransferTimedOut { job, stage, attempt, .. } => {
+                seen.entry((job, stage, attempt)).or_insert((0, 0)).1 += 1;
+            }
+            _ => {}
+        }
+    }
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_started_transfer_resolves_exactly_once(
+        seed in 0u64..1_000_000,
+        links in 1usize..4,
+        jobs in 1usize..14,
+    ) {
+        let (sim, specs) = workload(seed, links, jobs);
+        let outcome = sim.run(&specs);
+
+        // Attempt-level conservation: each queued attempt resolves
+        // (completes or times out) exactly once, and no resolution
+        // appears for an attempt that never started.
+        for ((job, stage, attempt), (queued, resolved)) in attempt_resolutions(&outcome) {
+            prop_assert_eq!(queued, 1, "attempt ({job},{stage},{attempt}) queued {queued} times");
+            prop_assert_eq!(
+                resolved, 1,
+                "attempt ({job},{stage},{attempt}) resolved {resolved} times"
+            );
+        }
+
+        // Job-level conservation: every job reaches exactly one terminal
+        // state, failed jobs end on a transfer stage with an abandonment
+        // event, and completed jobs completed every spec'd stage.
+        let completions = outcome
+            .trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::JobCompleted { .. }))
+            .count();
+        let abandonments = outcome
+            .trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::TransferAbandoned { .. }))
+            .count();
+        prop_assert_eq!(completions + abandonments, specs.len());
+        prop_assert_eq!(abandonments, outcome.timed_out());
+        for (job, spec) in outcome.jobs.iter().zip(&specs) {
+            match job.status {
+                JobStatus::Completed => prop_assert_eq!(job.stages.len(), spec.stages.len()),
+                JobStatus::TimedOut { stage } => {
+                    prop_assert_eq!(job.stages.len(), stage + 1);
+                    prop_assert!(matches!(spec.stages[stage], Stage::Transfer { .. }));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn event_ordering_is_a_pure_function_of_the_seed(
+        seed in 0u64..1_000_000,
+        links in 1usize..4,
+        jobs in 1usize..10,
+    ) {
+        let (sim_a, specs_a) = workload(seed, links, jobs);
+        let (sim_b, specs_b) = workload(seed, links, jobs);
+        let a = sim_a.run(&specs_a);
+        let b = sim_b.run(&specs_b);
+        prop_assert_eq!(&a.trace, &b.trace, "same seed must replay bit-identically");
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        prop_assert_eq!(&a.jobs, &b.jobs);
+
+        // And the trace is totally ordered in time (the virtual clock
+        // never runs backwards).
+        for pair in a.trace.windows(2) {
+            prop_assert!(pair[0].time() <= pair[1].time());
+        }
+
+        let (sim_c, specs_c) = workload(seed ^ 0x5EED_CAFE, links, jobs);
+        let c = sim_c.run(&specs_c);
+        prop_assert!(
+            c.trace != a.trace || c.jobs == a.jobs,
+            "a different seed may only coincide if outcomes coincide"
+        );
+    }
+
+    #[test]
+    fn fair_share_never_beats_the_empty_link_fifo_bound(
+        seed in 0u64..1_000_000,
+        jobs in 1usize..12,
+    ) {
+        // All transfers share one link. Under both disciplines every
+        // completed transfer stage must take at least its uncontended
+        // ideal (latency + serialization) — exactly what an empty-link
+        // FIFO would charge — no matter how many flows contend.
+        let (_, specs) = workload(seed, 1, jobs);
+        let profile = LinkMix::all_wifi().assign(seed, 0).profile;
+        for discipline in [Discipline::FairShare, Discipline::Fifo] {
+            let sim = Simulator::new(vec![LinkSpec { profile, discipline }]);
+            let outcome = sim.run(&specs);
+            for job in outcome.completed() {
+                for stage in &job.stages {
+                    prop_assert!(
+                        stage.span_us() >= stage.ideal_us,
+                        "{:?} finished a {} stage in {} µs, below its ideal {} µs",
+                        discipline,
+                        stage.label,
+                        stage.span_us(),
+                        stage.ideal_us
+                    );
+                }
+            }
+        }
+    }
+}

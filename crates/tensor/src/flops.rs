@@ -10,11 +10,19 @@
 //! The counter is a relaxed atomic: exact interleaving across threads does
 //! not matter, only the total.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static FLOPS: AtomicU64 = AtomicU64::new(0);
 
-/// Adds `n` floating-point operations to the process-wide counter.
+thread_local! {
+    /// Per-thread mirror of the global counter, so one thread's work can
+    /// be measured exactly even while other threads record concurrently.
+    static THREAD_FLOPS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Adds `n` floating-point operations to the process-wide counter (and
+/// this thread's mirror).
 ///
 /// Kernels in this crate call this internally; external code only needs it
 /// when implementing custom kernels that should participate in overhead
@@ -22,6 +30,7 @@ static FLOPS: AtomicU64 = AtomicU64::new(0);
 #[inline]
 pub fn record_flops(n: u64) {
     FLOPS.fetch_add(n, Ordering::Relaxed);
+    THREAD_FLOPS.with(|c| c.set(c.get().wrapping_add(n)));
 }
 
 /// Returns the total number of FLOPs recorded since process start (or the
@@ -69,6 +78,37 @@ impl FlopGuard {
     }
 }
 
+/// FLOPs recorded by *this thread* since it started.
+#[inline]
+pub fn thread_flops_now() -> u64 {
+    THREAD_FLOPS.with(Cell::get)
+}
+
+/// Measures the FLOPs this thread performs between construction and
+/// [`ThreadFlopGuard::stop`].
+///
+/// Unlike [`FlopGuard`], the measurement is exact even while other
+/// threads record concurrently — each thread mirrors its own
+/// contributions — which is what makes per-job cost accounting
+/// deterministic across trainer-pool widths. The measured closure must
+/// stay on one thread; work it spawns elsewhere is not attributed.
+#[derive(Debug)]
+pub struct ThreadFlopGuard {
+    start: u64,
+}
+
+impl ThreadFlopGuard {
+    /// Begins a scoped per-thread measurement.
+    pub fn start() -> Self {
+        Self { start: thread_flops_now() }
+    }
+
+    /// Ends the measurement and returns this thread's FLOPs in between.
+    pub fn stop(self) -> u64 {
+        thread_flops_now().wrapping_sub(self.start)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +126,16 @@ mod tests {
         record_flops(7);
         record_flops(3);
         assert_eq!(flops_now() - before, 10);
+    }
+
+    #[test]
+    fn thread_guard_ignores_other_threads() {
+        let guard = ThreadFlopGuard::start();
+        record_flops(11);
+        // A concurrent thread records into the global counter (and its
+        // own mirror), but must not perturb this thread's measurement.
+        std::thread::spawn(|| record_flops(1_000)).join().unwrap();
+        record_flops(4);
+        assert_eq!(guard.stop(), 15);
     }
 }

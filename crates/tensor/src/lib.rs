@@ -33,10 +33,10 @@ pub mod init;
 pub mod matrix;
 pub mod ops;
 
-pub use flops::{flops_now, reset_flops, FlopGuard};
+pub use flops::{flops_now, reset_flops, thread_flops_now, FlopGuard, ThreadFlopGuard};
 pub use init::{xavier_uniform, Init};
 pub use matrix::Matrix;
 pub use ops::{
-    argmax, log_softmax_in_place, sigmoid, softmax, softmax_in_place, softmax_temperature_in_place,
-    top_k,
+    argmax, log_softmax_in_place, nearest_rank, sigmoid, softmax, softmax_in_place,
+    softmax_temperature_in_place, top_k,
 };

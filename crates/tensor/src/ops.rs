@@ -116,6 +116,29 @@ pub fn top_k(x: &[f32], k: usize) -> Vec<usize> {
     idx
 }
 
+/// Nearest-rank percentile over an ascending-sorted slice: the smallest
+/// element whose rank is at least `⌈q·n⌉` (clamped to a valid rank), or
+/// `None` for an empty slice.
+///
+/// This is the one percentile definition the workspace shares — serving
+/// latency metrics, training enroll reports and the network simulator's
+/// stage breakdowns all delegate here, so their numbers are comparable.
+///
+/// # Example
+///
+/// ```
+/// let sorted: Vec<u64> = (1..=100).collect();
+/// assert_eq!(pelican_tensor::nearest_rank(&sorted, 0.95), Some(95));
+/// assert_eq!(pelican_tensor::nearest_rank::<u64>(&[], 0.5), None);
+/// ```
+pub fn nearest_rank<T: Copy + Ord>(sorted: &[T], q: f64) -> Option<T> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,5 +241,29 @@ mod tests {
         assert_eq!(top_k(&[0.5, 0.0, 0.0, 0.5, 0.0], 5), vec![0, 3, 1, 2, 4]);
         let sharpened = [0.0f32, 1.0, 0.0, 0.0];
         assert_eq!(top_k(&sharpened, 4), vec![1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn nearest_rank_matches_the_classic_definition() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&sorted, 0.50), Some(50));
+        assert_eq!(nearest_rank(&sorted, 0.95), Some(95));
+        assert_eq!(nearest_rank(&sorted, 0.99), Some(99));
+        assert_eq!(nearest_rank(&sorted, 1.0), Some(100));
+    }
+
+    #[test]
+    fn nearest_rank_clamps_and_handles_edges() {
+        assert_eq!(nearest_rank::<u64>(&[], 0.5), None, "empty has no percentile");
+        assert_eq!(nearest_rank(&[7u64], 0.01), Some(7));
+        assert_eq!(nearest_rank(&[7u64], 0.99), Some(7));
+        // q = 0 still yields the first element (rank clamps to 1), and
+        // q > 1 clamps to the last.
+        assert_eq!(nearest_rank(&[1u64, 2, 3], 0.0), Some(1));
+        assert_eq!(nearest_rank(&[1u64, 2, 3], 2.0), Some(3));
+        // Works for any ordered Copy type, e.g. Duration.
+        use std::time::Duration;
+        let ds = [Duration::from_millis(1), Duration::from_millis(9)];
+        assert_eq!(nearest_rank(&ds, 0.95), Some(Duration::from_millis(9)));
     }
 }

@@ -21,8 +21,8 @@
 use pelican::DefenseKind;
 use pelican_attacks::prior::random_probes;
 use pelican_attacks::{
-    evaluate_attack, interest_locations, Adversary, AttackEvaluation, AttackMethod, Instance,
-    Prior, PriorKind, TimeBased,
+    evaluate_attack, interest_locations_in, Adversary, AttackEvaluation, AttackMethod,
+    CachedBlackBox, Instance, LogitCache, Prior, PriorKind, TimeBased,
 };
 use pelican_mobility::{FeatureSpace, Session};
 use pelican_nn::SequenceModel;
@@ -139,6 +139,16 @@ pub struct GateOutcome {
     pub audits: usize,
     /// Total black-box model queries the audits spent.
     pub queries: u64,
+    /// Oracle queries answered from the per-candidate logit cache
+    /// instead of a forward pass. Escalation rungs only change the
+    /// deployed defense (temperature/post-processing), never the
+    /// weights, so every re-audit replays cached logits. Note the two
+    /// counters have different scopes: `queries` counts *attack*
+    /// queries only, while `cached` also counts replayed
+    /// interest-probe sweeps — so `cached` can exceed `queries`; the
+    /// gate's true forward-pass count is
+    /// `queries + probe_count * audits - cached`.
+    pub cached: u64,
 }
 
 impl GateOutcome {
@@ -191,6 +201,25 @@ impl AuditGate {
         space: &FeatureSpace,
         subject: &AuditSubject,
     ) -> AttackEvaluation {
+        self.audit_cached(model, space, subject, &mut LogitCache::new())
+    }
+
+    /// [`AuditGate::audit`] with an explicit per-candidate logit cache.
+    ///
+    /// The cache keys raw logits by query fingerprint, so it stays valid
+    /// across *defense* changes of the same weights — exactly what
+    /// [`AuditGate::admit`]'s escalation ladder does between rungs: the
+    /// first audit fills the cache, and every re-audit under a sharper
+    /// temperature re-scores its candidates from cached logits without a
+    /// single new forward pass. Never reuse a cache across candidates
+    /// (weight changes invalidate it).
+    pub fn audit_cached(
+        &self,
+        model: &SequenceModel,
+        space: &FeatureSpace,
+        subject: &AuditSubject,
+        cache: &mut LogitCache,
+    ) -> AttackEvaluation {
         let c = &self.config;
         let instances: Vec<Instance> = subject
             .holdout
@@ -200,9 +229,10 @@ impl AuditGate {
             .collect();
         let prior = Prior::of_kind(c.prior, space, &subject.history, model, c.seed ^ 0x9d);
         let probes = random_probes(space, c.probe_count, c.seed ^ 0x1f);
-        let interest = interest_locations(model, &probes, c.interest_threshold);
         let mut attacked = model.clone();
-        evaluate_attack(&c.method, &mut attacked, space, &prior, &interest, &instances, &c.ks)
+        let mut oracle = CachedBlackBox::new(&mut attacked, cache);
+        let interest = interest_locations_in(&mut oracle, &probes, c.interest_threshold);
+        evaluate_attack(&c.method, &mut oracle, space, &prior, &interest, &instances, &c.ks)
     }
 
     /// The full gate: installs the base defense, audits, escalates along
@@ -217,7 +247,12 @@ impl AuditGate {
         let c = &self.config;
         c.base_defense.apply(&mut candidate);
         let mut defense = c.base_defense;
-        let mut eval = self.audit(&candidate, space, subject);
+        // One logit cache for the whole ladder: rungs only swap the
+        // deployed defense (temperature/post-processing), never the
+        // weights, so every re-audit below replays cached logits instead
+        // of re-running forward passes.
+        let mut cache = LogitCache::new();
+        let mut eval = self.audit_cached(&candidate, space, subject, &mut cache);
         let initial_leakage = eval.accuracy(c.audit_k);
         let mut final_leakage = initial_leakage;
         let mut audits = 1;
@@ -228,7 +263,7 @@ impl AuditGate {
             defense = c.ladder[rungs_climbed];
             rungs_climbed += 1;
             defense.apply(&mut candidate);
-            eval = self.audit(&candidate, space, subject);
+            eval = self.audit_cached(&candidate, space, subject, &mut cache);
             final_leakage = eval.accuracy(c.audit_k);
             audits += 1;
             queries += eval.queries;
@@ -252,6 +287,7 @@ impl AuditGate {
             final_leakage,
             audits,
             queries,
+            cached: cache.hits,
         };
         (candidate, outcome)
     }
@@ -336,6 +372,56 @@ mod tests {
         assert_eq!(outcome.rungs_climbed, 0);
         assert_eq!(outcome.defense, DefenseKind::None, "base defense stays deployed");
         assert!(!outcome.within_budget(gate.config()));
+    }
+
+    #[test]
+    fn rung_escalation_rescores_nothing_it_already_scored() {
+        let space = space();
+        // Zero budget at k = n_locations forces the gate up the whole
+        // ladder: 1 base audit + 3 escalated re-audits.
+        let config =
+            AuditConfig { max_leakage: 0.0, ks: vec![1, 6], audit_k: 6, ..AuditConfig::default() };
+        let gate = AuditGate::new(config);
+        let s = subject(&space, 4);
+        let candidate = model(2, &space);
+
+        // Reference: the forward passes one audit of the base-defended
+        // candidate costs (probes + attack queries, deduplicated).
+        let mut base = candidate.clone();
+        gate.config().base_defense.apply(&mut base);
+        let mut first = LogitCache::new();
+        let first_eval = gate.audit_cached(&base, &space, &s, &mut first);
+
+        let (_, outcome) = gate.admit(candidate, &space, &s);
+        assert_eq!(outcome.audits, gate.config().ladder.len() + 1);
+        assert!(outcome.cached > 0, "re-audits must hit the cache");
+        // Every oracle query the gate made: attack queries plus one probe
+        // sweep per audit. Subtracting the cache hits leaves the true
+        // forward-pass count — which must equal audit #1's alone, i.e.
+        // the three escalation rungs re-scored nothing they had scored.
+        let probe_queries = (gate.config().probe_count * outcome.audits) as u64;
+        assert_eq!(
+            outcome.queries + probe_queries - outcome.cached,
+            first.misses,
+            "escalation rungs must not re-run any forward pass"
+        );
+        // Re-audits still pay (and account) their black-box queries; only
+        // the forward passes vanish.
+        assert!(outcome.queries > first_eval.queries);
+    }
+
+    #[test]
+    fn cached_escalation_matches_an_uncached_audit_of_the_published_model() {
+        let space = space();
+        let config =
+            AuditConfig { max_leakage: 0.0, ks: vec![1, 6], audit_k: 6, ..AuditConfig::default() };
+        let gate = AuditGate::new(config);
+        let s = subject(&space, 5);
+        let (published, outcome) = gate.admit(model(3, &space), &space, &s);
+        // A fresh, cache-free audit of the exact model the gate released
+        // reproduces the gate's final leakage bit for bit.
+        let fresh = gate.audit(&published, &space, &s);
+        assert_eq!(fresh.accuracy(6), outcome.final_leakage);
     }
 
     #[test]

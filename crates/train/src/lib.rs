@@ -28,6 +28,10 @@
 //!   path, so serving continues while the fleet retrains.
 //! * [`report`] — throughput (models/s vs. worker count), audit
 //!   pass/escalate/exhaust counts and end-to-end enroll latency.
+//! * [`network`] — replays a pipeline run through the [`pelican_sim`]
+//!   discrete-event simulator: downloads overlap training across the
+//!   fleet, uploads queue on a shared uplink, stragglers straggle, and
+//!   the whole timeline is bit-identical across pool widths.
 //!
 //! # Example
 //!
@@ -65,12 +69,16 @@
 
 pub mod audit;
 pub mod job;
+pub mod network;
 pub mod pipeline;
 pub mod pool;
 pub mod report;
 
 pub use audit::{AuditConfig, AuditGate, AuditSubject, GateOutcome, GateVerdict};
 pub use job::{cohort_jobs, JobKind, TrainJob};
+pub use network::{
+    simulate_fleet_network, NetComponent, NetEnroll, NetTrainReport, NetworkConfig, UplinkMode,
+};
 pub use pipeline::{run_pipeline, FleetTrainer, PipelineConfig};
 pub use pool::{user_seed, TrainerPool};
 pub use report::{JobOutcome, TrainReport};

@@ -1,0 +1,493 @@
+//! Network-aware fleet training: replay a pipeline run through the
+//! discrete-event simulator.
+//!
+//! The synchronous pipeline prices the device↔cloud link as a fixed
+//! `Duration` per transfer. This module replaces that with
+//! [`pelican_sim`]: every cohort device becomes a four-stage sim job —
+//! **download** the general envelope over its own (seeded, heterogeneous)
+//! link, **train** and **audit** for its exact simulated device-tier
+//! durations, then **upload** the published envelope, either over the
+//! device's own link or queued on one *shared* cloud uplink. Downloads
+//! overlap other devices' training, uploads contend, stragglers straggle,
+//! and transfers can time out and retry with backoff.
+//!
+//! Everything the simulation consumes is deterministic — per-job
+//! simulated compute comes from exact per-thread FLOP measurement, link
+//! assignment from the fleet seed — so the event trace and every latency
+//! split are **bit-identical across trainer-pool widths**, which
+//! [`NetTrainReport::fingerprint`] makes cheap to assert.
+
+use pelican_sim::{
+    stage_stats, DeviceLink, Discipline, JobSpec, JobStatus, LinkMix, LinkProfile, LinkSpec,
+    SimOutcome, Simulator, Stage, TransferPolicy,
+};
+use pelican_tensor::nearest_rank;
+
+use crate::report::TrainReport;
+
+/// Where publication uploads go.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UplinkMode {
+    /// Each device uploads over its own link — the uncontended baseline.
+    PerDevice,
+    /// Every device queues its upload on one shared cloud-ingress link.
+    Shared {
+        /// Shape of the shared uplink.
+        profile: LinkProfile,
+        /// How contending uploads share it.
+        discipline: Discipline,
+    },
+}
+
+/// Network shape of a fleet-training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkConfig {
+    /// Per-device link assignment (wifi/WAN/cellular mix + stragglers).
+    pub mix: LinkMix,
+    /// Upload routing: per-device or shared-contended.
+    pub uplink: UplinkMode,
+    /// Timeout/retry policy of general-model downloads.
+    pub download: TransferPolicy,
+    /// Timeout/retry policy of publication uploads.
+    pub upload: TransferPolicy,
+    /// Fleet seed for link assignment.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    /// A campus mix uploading to one shared fair-share WAN uplink, no
+    /// timeouts.
+    fn default() -> Self {
+        Self {
+            mix: LinkMix::campus(),
+            uplink: UplinkMode::Shared {
+                profile: LinkProfile::wan(),
+                discipline: Discipline::FairShare,
+            },
+            download: TransferPolicy::default(),
+            upload: TransferPolicy::default(),
+            seed: 0x11EE7,
+        }
+    }
+}
+
+/// One device's simulated enrollment, split into the four components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetEnroll {
+    /// The enrolled user.
+    pub user_id: usize,
+    /// Whether straggler injection degraded this device's link.
+    pub straggler: bool,
+    /// Link class the device was dealt (`wifi`, `wan`, `cellular`).
+    pub link: &'static str,
+    /// Contention + retry/backoff delay across both transfers (µs).
+    pub queue_us: u64,
+    /// Uncontended transfer cost of download + upload (µs).
+    pub transfer_us: u64,
+    /// Simulated on-device training (µs).
+    pub train_us: u64,
+    /// Simulated privacy audit (µs).
+    pub audit_us: u64,
+    /// Release → publication, end to end (µs).
+    pub enroll_us: u64,
+    /// Transfer attempts spent (2 = no retries anywhere).
+    pub attempts: u32,
+    /// Whether the device finished (false: retries exhausted).
+    pub completed: bool,
+}
+
+/// A network-aware fleet-training report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetTrainReport {
+    /// Per-device enrollments, in job order.
+    pub enrolls: Vec<NetEnroll>,
+    /// The raw simulation (trace + per-job stage reports).
+    pub sim: SimOutcome,
+    /// Enroll latencies of completed devices, sorted once at
+    /// construction (like [`TrainReport`]'s latencies) so percentile
+    /// queries never re-collect or re-sort.
+    sorted_enroll_us: Vec<u64>,
+    /// One ascending-sorted vector per [`NetComponent`], completed
+    /// devices only (indexed by [`NetComponent::index`]).
+    sorted_components_us: [Vec<u64>; 4],
+    /// Enroll latencies of completed stragglers, sorted ascending.
+    sorted_straggler_us: Vec<u64>,
+}
+
+impl NetTrainReport {
+    /// Builds a report, sorting every percentile source exactly once.
+    fn new(enrolls: Vec<NetEnroll>, sim: SimOutcome) -> Self {
+        let completed = || enrolls.iter().filter(|e| e.completed);
+        let sorted = |mut xs: Vec<u64>| {
+            xs.sort_unstable();
+            xs
+        };
+        let sorted_enroll_us = sorted(completed().map(|e| e.enroll_us).collect());
+        let sorted_components_us = [
+            sorted(completed().map(|e| e.queue_us).collect()),
+            sorted(completed().map(|e| e.transfer_us).collect()),
+            sorted(completed().map(|e| e.train_us).collect()),
+            sorted(completed().map(|e| e.audit_us).collect()),
+        ];
+        let sorted_straggler_us =
+            sorted(completed().filter(|e| e.straggler).map(|e| e.enroll_us).collect());
+        Self { enrolls, sim, sorted_enroll_us, sorted_components_us, sorted_straggler_us }
+    }
+
+    /// Determinism fingerprint of the event trace.
+    pub fn fingerprint(&self) -> u64 {
+        self.sim.fingerprint()
+    }
+
+    /// Devices that never published (transfer retries exhausted).
+    pub fn timed_out(&self) -> usize {
+        self.sim.timed_out()
+    }
+
+    /// Straggler devices in the cohort.
+    pub fn stragglers(&self) -> usize {
+        self.enrolls.iter().filter(|e| e.straggler).count()
+    }
+
+    /// Nearest-rank percentile of end-to-end enroll latency over
+    /// completed devices (µs).
+    pub fn enroll_percentile_us(&self, q: f64) -> u64 {
+        nearest_rank(&self.sorted_enroll_us, q).unwrap_or(0)
+    }
+
+    /// Nearest-rank percentile of one component over completed devices.
+    pub fn component_percentile_us(&self, component: NetComponent, q: f64) -> u64 {
+        nearest_rank(&self.sorted_components_us[component.index()], q).unwrap_or(0)
+    }
+
+    /// p95 enroll latency of the straggler subset (µs; 0 if none).
+    pub fn straggler_p95_us(&self) -> u64 {
+        nearest_rank(&self.sorted_straggler_us, 0.95).unwrap_or(0)
+    }
+
+    /// Multi-line human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let ms = |us: u64| us as f64 / 1e3;
+        out.push_str(&format!(
+            "{} devices enrolled ({} stragglers, {} timed out), trace {:016x}\n",
+            self.enrolls.len(),
+            self.stragglers(),
+            self.timed_out(),
+            self.fingerprint(),
+        ));
+        out.push_str(&format!(
+            "enroll      p50 {:.1} ms  p95 {:.1} ms\n",
+            ms(self.enroll_percentile_us(0.50)),
+            ms(self.enroll_percentile_us(0.95)),
+        ));
+        for (name, component) in [
+            ("queue", NetComponent::Queue),
+            ("transfer", NetComponent::Transfer),
+            ("train", NetComponent::Train),
+            ("audit", NetComponent::Audit),
+        ] {
+            out.push_str(&format!(
+                "  {name:<9} p50 {:.1} ms  p95 {:.1} ms\n",
+                ms(self.component_percentile_us(component, 0.50)),
+                ms(self.component_percentile_us(component, 0.95)),
+            ));
+        }
+        let upload = stage_stats(&self.sim, "upload");
+        out.push_str(&format!(
+            "  uplink    p95 wait {:.1} ms over {} uploads ({} retries)\n",
+            ms(upload.wait_p95_us),
+            upload.jobs,
+            upload.retries,
+        ));
+        out
+    }
+}
+
+/// One enroll-latency component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetComponent {
+    /// Contention/retry delay on the two transfers.
+    Queue,
+    /// Uncontended transfer cost.
+    Transfer,
+    /// On-device training.
+    Train,
+    /// Privacy audit.
+    Audit,
+}
+
+impl NetComponent {
+    /// Slot in [`NetTrainReport`]'s pre-sorted component arrays.
+    fn index(self) -> usize {
+        match self {
+            NetComponent::Queue => 0,
+            NetComponent::Transfer => 1,
+            NetComponent::Train => 2,
+            NetComponent::Audit => 3,
+        }
+    }
+}
+
+/// Replays a pipeline run through the network simulator.
+///
+/// `report` supplies the deterministic per-job inputs (simulated train
+/// and audit durations, upload sizes); `general_bytes` is the size of
+/// the general envelope every device downloads. All devices release at
+/// t = 0 — device-side work is inherently fleet-parallel; the trainer
+/// pool's width is a host-compute knob that must not (and does not)
+/// change the simulated timeline.
+pub fn simulate_fleet_network(
+    report: &TrainReport,
+    general_bytes: u64,
+    config: &NetworkConfig,
+) -> NetTrainReport {
+    let devices: Vec<DeviceLink> =
+        report.outcomes.iter().map(|o| config.mix.assign(config.seed, o.user_id as u64)).collect();
+
+    // Link table: the shared uplink (if any) is link 0; device links
+    // follow, one per cohort member, FIFO (a device does one transfer at
+    // a time anyway).
+    let mut links: Vec<LinkSpec> = Vec::with_capacity(devices.len() + 1);
+    let shared_uplink = match config.uplink {
+        UplinkMode::Shared { profile, discipline } => {
+            links.push(LinkSpec { profile, discipline });
+            true
+        }
+        UplinkMode::PerDevice => false,
+    };
+    let device_link_base = links.len();
+    links.extend(devices.iter().map(|d| LinkSpec::fifo(d.profile)));
+
+    let specs: Vec<JobSpec> = report
+        .outcomes
+        .iter()
+        .enumerate()
+        .map(|(i, outcome)| {
+            let device_link = device_link_base + i;
+            let uplink = if shared_uplink { 0 } else { device_link };
+            JobSpec {
+                id: outcome.user_id as u64,
+                release_us: 0,
+                stages: vec![
+                    Stage::Transfer {
+                        label: "download",
+                        link: device_link,
+                        bytes: general_bytes,
+                        policy: config.download,
+                    },
+                    Stage::Compute {
+                        label: "train",
+                        duration_us: outcome.train_simulated.as_micros() as u64,
+                    },
+                    Stage::Compute {
+                        label: "audit",
+                        duration_us: outcome.audit_simulated.as_micros() as u64,
+                    },
+                    Stage::Transfer {
+                        label: "upload",
+                        link: uplink,
+                        bytes: outcome.envelope_bytes as u64,
+                        policy: config.upload,
+                    },
+                ],
+            }
+        })
+        .collect();
+
+    let sim = Simulator::new(links).run(&specs);
+    let enrolls = sim
+        .jobs
+        .iter()
+        .zip(&devices)
+        .zip(&report.outcomes)
+        .map(|((job, device), outcome)| {
+            let transfer_stages = ["download", "upload"];
+            let (mut queue_us, mut transfer_us, mut attempts) = (0, 0, 0);
+            for label in transfer_stages {
+                if let Some(s) = job.stage(label) {
+                    queue_us += s.wait_us();
+                    transfer_us += s.ideal_us;
+                    attempts += s.attempts;
+                }
+            }
+            NetEnroll {
+                user_id: outcome.user_id,
+                straggler: device.straggler,
+                link: device.profile.name,
+                queue_us,
+                transfer_us,
+                train_us: job.stage("train").map_or(0, |s| s.span_us()),
+                audit_us: job.stage("audit").map_or(0, |s| s.span_us()),
+                enroll_us: job.total_us(),
+                attempts,
+                completed: job.status == JobStatus::Completed,
+            }
+        })
+        .collect();
+    NetTrainReport::new(enrolls, sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::{GateOutcome, GateVerdict};
+    use crate::report::JobOutcome;
+    use pelican::DefenseKind;
+    use pelican_nn::FitReport;
+    use pelican_sim::StragglerConfig;
+    use std::time::Duration;
+
+    /// A synthetic pipeline report: deterministic per-job durations and
+    /// upload sizes without paying for real training.
+    fn synthetic_report(n: usize) -> TrainReport {
+        let outcomes: Vec<JobOutcome> = (0..n)
+            .map(|i| JobOutcome {
+                user_id: 100 + i,
+                version: i as u64 + 1,
+                warm: false,
+                gate: GateOutcome {
+                    verdict: GateVerdict::Passed,
+                    defense: DefenseKind::None,
+                    rungs_climbed: 0,
+                    initial_leakage: 0.1,
+                    final_leakage: 0.1,
+                    audits: 1,
+                    queries: 10,
+                    cached: 0,
+                },
+                fit: FitReport { epoch_losses: vec![0.5], steps: 4, samples_per_epoch: 4 },
+                enroll_latency: Duration::from_millis(5),
+                train_simulated: Duration::from_millis(4 + i as u64 % 3),
+                audit_simulated: Duration::from_millis(2),
+                envelope_bytes: 60_000,
+            })
+            .collect();
+        TrainReport::new(2, outcomes, Duration::from_millis(40), 1_000)
+    }
+
+    fn wifi_fleet(uplink: UplinkMode) -> NetworkConfig {
+        NetworkConfig { mix: LinkMix::all_wifi(), uplink, seed: 5, ..NetworkConfig::default() }
+    }
+
+    #[test]
+    fn components_partition_the_enroll_latency_exactly() {
+        let report = synthetic_report(6);
+        let net = simulate_fleet_network(&report, 80_000, &NetworkConfig::default());
+        assert_eq!(net.enrolls.len(), 6);
+        assert_eq!(net.timed_out(), 0);
+        for e in &net.enrolls {
+            assert!(e.completed);
+            assert_eq!(
+                e.queue_us + e.transfer_us + e.train_us + e.audit_us,
+                e.enroll_us,
+                "the four components tile the end-to-end latency"
+            );
+            assert_eq!(e.attempts, 2, "no timeouts ⇒ one attempt per transfer");
+        }
+    }
+
+    #[test]
+    fn shared_uplink_contention_raises_p95_strictly() {
+        let report = synthetic_report(8);
+        let baseline = simulate_fleet_network(&report, 80_000, &wifi_fleet(UplinkMode::PerDevice));
+        let contended = simulate_fleet_network(
+            &report,
+            80_000,
+            &wifi_fleet(UplinkMode::Shared {
+                profile: LinkProfile::wifi(),
+                discipline: Discipline::Fifo,
+            }),
+        );
+        // Same link class, so any increase is pure queueing — and with
+        // every device releasing at t = 0, uploads must collide.
+        assert!(
+            contended.enroll_percentile_us(0.95) > baseline.enroll_percentile_us(0.95),
+            "contended {} µs must beat uncontended {} µs",
+            contended.enroll_percentile_us(0.95),
+            baseline.enroll_percentile_us(0.95)
+        );
+        assert!(contended.component_percentile_us(NetComponent::Queue, 0.95) > 0);
+        assert_eq!(baseline.component_percentile_us(NetComponent::Queue, 0.95), 0);
+        // Train/audit components are untouched by the network shape.
+        for q in [0.5, 0.95] {
+            assert_eq!(
+                contended.component_percentile_us(NetComponent::Train, q),
+                baseline.component_percentile_us(NetComponent::Train, q)
+            );
+        }
+    }
+
+    #[test]
+    fn the_simulated_timeline_is_independent_of_pool_width() {
+        // Two reports that differ only in schedule-dependent fields
+        // (worker count, host wall clock, versions) must replay to
+        // bit-identical traces.
+        let a = synthetic_report(5);
+        let mut outcomes = a.outcomes.clone();
+        for o in &mut outcomes {
+            o.version += 7; // publication order differs across widths
+            o.enroll_latency = Duration::from_millis(99); // host time differs
+        }
+        let b = TrainReport::new(8, outcomes, Duration::from_millis(123), 1_000);
+        let config = NetworkConfig::default();
+        let net_a = simulate_fleet_network(&a, 80_000, &config);
+        let net_b = simulate_fleet_network(&b, 80_000, &config);
+        assert_eq!(net_a.fingerprint(), net_b.fingerprint());
+        assert_eq!(net_a.sim.trace, net_b.sim.trace);
+        assert_eq!(net_a.enrolls, net_b.enrolls);
+    }
+
+    #[test]
+    fn stragglers_are_marked_and_slower() {
+        let report = synthetic_report(24);
+        let mix =
+            LinkMix::all_wifi().with_stragglers(StragglerConfig { fraction: 0.3, slowdown: 20.0 });
+        let config = NetworkConfig {
+            mix,
+            uplink: UplinkMode::PerDevice,
+            seed: 3,
+            ..NetworkConfig::default()
+        };
+        let net = simulate_fleet_network(&report, 80_000, &config);
+        let stragglers = net.stragglers();
+        assert!(stragglers > 0, "30% injection over 24 devices");
+        assert!(stragglers < 24);
+        let worst_normal =
+            net.enrolls.iter().filter(|e| !e.straggler).map(|e| e.enroll_us).max().unwrap();
+        for e in net.enrolls.iter().filter(|e| e.straggler) {
+            assert!(
+                e.enroll_us > worst_normal,
+                "a 20x straggler ({} µs) must trail every normal device ({} µs)",
+                e.enroll_us,
+                worst_normal
+            );
+        }
+        assert!(net.straggler_p95_us() > worst_normal);
+    }
+
+    #[test]
+    fn tight_timeouts_without_retries_fail_stragglers() {
+        let report = synthetic_report(16);
+        let mix =
+            LinkMix::all_wifi().with_stragglers(StragglerConfig { fraction: 0.25, slowdown: 50.0 });
+        // Downloads must finish within 40 ms: fine on wifi (~72 kB in
+        // ~14 ms), hopeless at 50x slowdown.
+        let config = NetworkConfig {
+            mix,
+            uplink: UplinkMode::PerDevice,
+            download: TransferPolicy {
+                timeout_us: Some(40_000),
+                retry: pelican_sim::RetryPolicy::none(),
+            },
+            seed: 3,
+            ..NetworkConfig::default()
+        };
+        let net = simulate_fleet_network(&report, 80_000, &config);
+        assert_eq!(net.timed_out(), net.stragglers(), "exactly the stragglers fail");
+        assert!(net.timed_out() > 0);
+        let completed = net.enrolls.iter().filter(|e| e.completed).count();
+        assert_eq!(completed + net.timed_out(), 16);
+        assert!(!net.render().is_empty());
+    }
+}

@@ -17,9 +17,9 @@
 //! never from scheduling order). Publication *versions* and the wall-clock
 //! numbers in the report are the only schedule-dependent outputs.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use pelican::platform::NetworkLink;
+use pelican::platform::{measure_thread, ComputeTier, NetworkLink};
 use pelican::{DefenseKind, DevicePersonalizer, PersonalizationConfig, PersonalizationMethod};
 use pelican_mobility::FeatureSpace;
 use pelican_nn::{FitReport, ModelEnvelope, SequenceModel};
@@ -71,6 +71,8 @@ struct Candidate {
     fit: FitReport,
     warm: bool,
     started: Instant,
+    train_simulated: Duration,
+    audit_simulated: Duration,
 }
 
 /// The fleet-training pipeline.
@@ -157,8 +159,16 @@ impl FleetTrainer {
             // envelope to the publication channel.
             |index, job| {
                 let started = Instant::now();
-                let (candidate, fit) = self.train_candidate(&general_envelope, job);
-                let (published, gate) = self.gate.admit(candidate, space, &job.subject);
+                // Per-thread measurement: each job runs entirely on one
+                // worker, so its simulated device cost is exact and
+                // bit-identical for any pool width — the input the
+                // network simulation replays.
+                let ((candidate, fit), train_usage) = measure_thread(ComputeTier::Device, || {
+                    self.train_candidate(&general_envelope, job)
+                });
+                let ((published, gate), audit_usage) = measure_thread(ComputeTier::Device, || {
+                    self.gate.admit(candidate, space, &job.subject)
+                });
                 Candidate {
                     index,
                     user_id: job.user_id,
@@ -167,13 +177,26 @@ impl FleetTrainer {
                     fit,
                     warm: job.is_warm(),
                     started,
+                    train_simulated: train_usage.simulated,
+                    audit_simulated: audit_usage.simulated,
                 }
             },
             // Publisher side, on the calling thread: hot-swap each
             // audited envelope the moment it arrives, concurrently with
             // the still-training workers.
             |c| {
-                let Candidate { index, user_id, envelope, gate, fit, warm, started } = c;
+                let Candidate {
+                    index,
+                    user_id,
+                    envelope,
+                    gate,
+                    fit,
+                    warm,
+                    started,
+                    train_simulated,
+                    audit_simulated,
+                } = c;
+                let envelope_bytes = envelope.len();
                 let version = registry.enroll_envelope(user_id, envelope);
                 let outcome = JobOutcome {
                     user_id,
@@ -182,20 +205,23 @@ impl FleetTrainer {
                     gate,
                     fit,
                     enroll_latency: started.elapsed(),
+                    train_simulated,
+                    audit_simulated,
+                    envelope_bytes,
                 };
                 outcomes[index] = Some(outcome);
             },
         );
 
-        TrainReport {
-            workers: self.config.workers,
-            outcomes: outcomes
+        TrainReport::new(
+            self.config.workers,
+            outcomes
                 .into_iter()
                 .map(|o| o.expect("every job was trained, audited and published"))
                 .collect(),
-            wall: wall.elapsed(),
-            flops: flop_guard.stop(),
-        }
+            wall.elapsed(),
+            flop_guard.stop(),
+        )
     }
 }
 

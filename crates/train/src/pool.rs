@@ -99,15 +99,11 @@ impl TrainerPool {
 /// Derives a per-user seed from the pipeline's base seed.
 ///
 /// `stream` separates independent uses for the same user (layer init vs.
-/// epoch shuffling) so they never correlate. The mix is splitmix64 — a
-/// bijective avalanche over the packed input, so nearby users get
-/// unrelated seeds.
+/// epoch shuffling) so they never correlate. The mix is the workspace's
+/// shared splitmix64 ([`pelican_sim::mix64`]) — a bijective avalanche
+/// over the packed input, so nearby users get unrelated seeds.
 pub fn user_seed(base: u64, user_id: u64, stream: u64) -> u64 {
-    let mut z = base ^ user_id.rotate_left(24) ^ stream.rotate_left(48);
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    pelican_sim::mix64(base ^ user_id.rotate_left(24) ^ stream.rotate_left(48))
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 use std::time::Duration;
 
 use pelican_nn::FitReport;
+use pelican_tensor::nearest_rank;
 
 use crate::audit::{GateOutcome, GateVerdict};
 
@@ -26,6 +27,16 @@ pub struct JobOutcome {
     pub fit: FitReport,
     /// Host time from job steal to registry publication.
     pub enroll_latency: Duration,
+    /// Simulated device-tier time of this job's training, derived from
+    /// its exact per-thread FLOP count (deterministic for any pool
+    /// width) — the `train` stage of the network simulation.
+    pub train_simulated: Duration,
+    /// Simulated device-tier time of this job's privacy audit
+    /// (deterministic) — the `audit` stage of the network simulation.
+    pub audit_simulated: Duration,
+    /// Size of the published envelope in bytes — the payload the
+    /// network simulation uploads.
+    pub envelope_bytes: usize,
 }
 
 /// Aggregate result of one pipeline run.
@@ -40,9 +51,20 @@ pub struct TrainReport {
     /// Total floating-point operations spent (training + audits), summed
     /// across all workers.
     pub flops: u64,
+    /// Enroll latencies sorted ascending, built once at construction so
+    /// percentile queries never re-clone or re-sort the outcomes.
+    sorted_latencies: Vec<Duration>,
 }
 
 impl TrainReport {
+    /// Builds a report, sorting the enroll latencies exactly once.
+    pub fn new(workers: usize, outcomes: Vec<JobOutcome>, wall: Duration, flops: u64) -> Self {
+        let mut sorted_latencies: Vec<Duration> =
+            outcomes.iter().map(|o| o.enroll_latency).collect();
+        sorted_latencies.sort_unstable();
+        Self { workers, outcomes, wall, flops, sorted_latencies }
+    }
+
     /// Models published per host second.
     pub fn models_per_sec(&self) -> f64 {
         let secs = self.wall.as_secs_f64();
@@ -93,15 +115,11 @@ impl TrainReport {
         self.outcomes.iter().filter(|o| o.gate.verdict == verdict).count()
     }
 
-    /// Nearest-rank percentile over the enroll latencies (zero if empty).
+    /// Nearest-rank percentile over the pre-sorted enroll latencies
+    /// (zero if empty). O(1): the sort happened once in
+    /// [`TrainReport::new`].
     fn latency_percentile(&self, q: f64) -> Duration {
-        let mut sorted: Vec<Duration> = self.outcomes.iter().map(|o| o.enroll_latency).collect();
-        sorted.sort_unstable();
-        if sorted.is_empty() {
-            return Duration::ZERO;
-        }
-        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        sorted[rank - 1]
+        nearest_rank(&self.sorted_latencies, q).unwrap_or(Duration::ZERO)
     }
 
     /// Multi-line human-readable summary.
@@ -150,25 +168,29 @@ mod tests {
                 final_leakage: 0.2,
                 audits: 1,
                 queries: 10,
+                cached: 0,
             },
             fit: FitReport { epoch_losses: vec![1.0], steps: 1, samples_per_epoch: 1 },
             enroll_latency: Duration::from_millis(latency_ms),
+            train_simulated: Duration::from_millis(2),
+            audit_simulated: Duration::from_millis(1),
+            envelope_bytes: 1_000,
         }
     }
 
     #[test]
     fn report_aggregates_verdicts_and_latency() {
-        let report = TrainReport {
-            workers: 4,
-            outcomes: vec![
+        let report = TrainReport::new(
+            4,
+            vec![
                 outcome(GateVerdict::Passed, 10, false),
                 outcome(GateVerdict::Escalated, 20, false),
                 outcome(GateVerdict::Escalated, 30, true),
                 outcome(GateVerdict::Exhausted, 40, false),
             ],
-            wall: Duration::from_secs(2),
-            flops: 4_000_000_000,
-        };
+            Duration::from_secs(2),
+            4_000_000_000,
+        );
         assert_eq!((report.passed(), report.escalated(), report.exhausted()), (1, 2, 1));
         assert_eq!(report.warm_starts(), 1);
         assert_eq!(report.audit_queries(), 40);
@@ -182,10 +204,23 @@ mod tests {
 
     #[test]
     fn empty_report_is_well_defined() {
-        let report =
-            TrainReport { workers: 1, outcomes: Vec::new(), wall: Duration::ZERO, flops: 0 };
+        let report = TrainReport::new(1, Vec::new(), Duration::ZERO, 0);
         assert_eq!(report.models_per_sec(), 0.0);
         assert_eq!(report.enroll_latency_p50(), Duration::ZERO);
         assert!(!report.render().is_empty());
+    }
+
+    #[test]
+    fn percentiles_ignore_outcome_order() {
+        // The latencies are sorted once at construction, not on every
+        // call — shuffled outcome order must not change any percentile.
+        let latencies = [40, 10, 30, 20];
+        let outcomes: Vec<JobOutcome> =
+            latencies.iter().map(|&ms| outcome(GateVerdict::Passed, ms, false)).collect();
+        let report = TrainReport::new(2, outcomes, Duration::from_secs(1), 1);
+        assert_eq!(report.enroll_latency_p50(), Duration::from_millis(20));
+        assert_eq!(report.enroll_latency_p95(), Duration::from_millis(40));
+        // Outcome order itself is preserved for callers.
+        assert_eq!(report.outcomes[0].enroll_latency, Duration::from_millis(40));
     }
 }

@@ -47,6 +47,7 @@ fn main() {
         privacy: Some(PrivacyLayer::default()),
         unenrolled_clients: 4,
         queries_per_user: 32,
+        cloud: None,
     };
     let outcome = run_fleet(&scenario, &config).expect("registry envelopes decode");
     println!("{}", outcome.report.render());
