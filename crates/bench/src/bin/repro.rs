@@ -10,8 +10,8 @@
 use std::process::ExitCode;
 
 use pelican_bench::experiments::{
-    ablation, adversaries, attack_methods, defense, network, personalization, serving, spatial,
-    training,
+    ablation, adversaries, attack_methods, cosim, defense, network, personalization, serving,
+    spatial, training,
 };
 use pelican_bench::{parse_args, RunConfig};
 
@@ -34,6 +34,7 @@ experiments:
   serve-report      fleet serving: throughput, batching, cache and latency per tier
   train-report      fleet training: parallel personalization, audit gate, enroll latency
   net-report        fleet network: link-mix x retry sweep, uplink contention, cloud RTT
+  cosim-report      closed-loop co-simulation: open vs closed loops, width invariance, sim scheduler
   ablate-defenses   compare temperature vs output-noise vs rounding defenses
   ablate-interest   locations-of-interest threshold sweep
   ablate-gd         gradient-descent attack hyperparameter sweep
@@ -164,6 +165,21 @@ fn run_experiment(name: &str, config: &RunConfig) -> bool {
             println!("{}", network::contention_table(&run).render());
             println!("cloud-deployed serving round trips:");
             println!("{}", network::cloud_table(config).render());
+        }
+        "cosim-report" => {
+            banner("Closed-loop co-simulation — one virtual clock for the fleet", config);
+            let run = cosim::run(config);
+            println!(
+                "general envelope {} kB; agreement, divergence, width-invariance and \
+                 scheduler-fidelity contracts verified",
+                run.general_bytes / 1024,
+            );
+            println!("\nopen-loop replay vs. closed-loop co-simulation (two training rounds):");
+            println!("{}", cosim::table(&run).render());
+            println!("closed-loop trace fingerprint by trainer-pool width:");
+            println!("{}", cosim::width_table(&run).render());
+            println!("sim-driven batch scheduler vs. network jitter:");
+            println!("{}", cosim::serve_table(&run).render());
         }
         "ablate-defenses" => {
             banner("Ablation — defense comparison (Table V alternatives)", config);

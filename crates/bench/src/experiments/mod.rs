@@ -11,10 +11,12 @@
 //! | [`serving`] | fleet-serving throughput/latency (beyond the paper; ROADMAP north star) |
 //! | [`training`] | fleet-training pipeline: parallel personalization + audit gate (beyond the paper) |
 //! | [`network`] | device↔cloud network simulation: link-mix × retry sweep, contention, cloud RTT (beyond the paper) |
+//! | [`cosim`] | closed-loop network/compute co-simulation: open vs. closed loops, width invariance, sim-driven scheduler fidelity (beyond the paper) |
 
 pub mod ablation;
 pub mod adversaries;
 pub mod attack_methods;
+pub mod cosim;
 pub mod defense;
 pub mod network;
 pub mod personalization;

@@ -5,28 +5,27 @@
 //! experiment and the serving benchmarks all drive: one deterministic
 //! function from (scenario, knobs) to a [`ServeReport`].
 //!
-//! With [`FleetConfig::cloud`] set, queries additionally pay the
-//! device↔cloud network through the [`pelican_sim`] discrete-event
-//! simulator: each query's payload crosses its client's own (seeded,
-//! heterogeneous) uplink before it can be batched, and the response
-//! queues on one shared, contended cloud egress link on the way back.
-//! The round-trip summary lands in [`FleetOutcome::network`].
-
-use std::collections::HashMap;
+//! With [`FleetConfig::cloud`] set, the whole serving tier runs on the
+//! [`pelican_sim`] virtual clock through
+//! [`crate::simserve::simulate_serving`]: each query crosses its
+//! client's own (seeded, heterogeneous) uplink before it can be batched,
+//! shard buffers seal on sim timer events, fused batches occupy their
+//! shard's compute resource (back-to-back batches queue), and responses
+//! return over one shared, contended cloud egress link — so batch
+//! compositions genuinely react to network jitter. The round-trip
+//! summary lands in [`FleetOutcome::network`].
 
 use pelican::platform::ComputeTier;
 use pelican::workbench::Scenario;
 use pelican::PrivacyLayer;
 use pelican_nn::{ModelCodecError, Sequence};
-use pelican_sim::{
-    Discipline, JobSpec, JobStatus, LinkMix, LinkProfile, LinkSpec, Simulator, Stage,
-    TransferPolicy,
-};
+use pelican_sim::{stage_stats, Discipline, LinkMix, LinkProfile, TransferPolicy};
 use pelican_tensor::nearest_rank;
 
 use crate::metrics::{MetricsSink, ServeReport};
 use crate::registry::{RegistryConfig, RegistryStats, ShardedRegistry};
-use crate::scheduler::{BatchScheduler, Completion, Request, SchedulerConfig, ServeEngine};
+use crate::scheduler::{BatchScheduler, Request, SchedulerConfig, ServeEngine};
+use crate::simserve::{simulate_serving, SimServeConfig};
 use crate::traffic::{TrafficConfig, TrafficGenerator};
 
 /// Everything a fleet run needs besides the scenario.
@@ -122,7 +121,8 @@ pub struct CloudRtt {
     pub uplink_wait_p95_us: u64,
     /// 95th-percentile contention wait on the shared egress (µs).
     pub egress_wait_p95_us: u64,
-    /// Combined determinism fingerprint of both network phases.
+    /// Determinism fingerprint of the unified serving timeline (uplink,
+    /// batching timers, shard compute and egress share one event heap).
     pub fingerprint: u64,
 }
 
@@ -185,7 +185,7 @@ pub fn run_fleet(
     let mut traffic = config.traffic;
     traffic.users = pool.len();
     let mut cursors = vec![0usize; pool.len()];
-    let mut requests: Vec<Request> = TrafficGenerator::new(traffic)
+    let requests: Vec<Request> = TrafficGenerator::new(traffic)
         .enumerate()
         .map(|(id, arrival)| {
             let queries = &query_pool[arrival.user_index];
@@ -195,102 +195,47 @@ pub fn run_fleet(
         })
         .collect();
 
-    // Cloud deployment: queries cross their client's uplink before they
-    // can be batched. The sim rewrites each request's arrival to its
-    // cloud-ingress time and drops queries whose uplink retries ran out.
-    let mut uplink_phase = None;
-    if let Some(cloud) = &config.cloud {
-        let slot_of: HashMap<usize, usize> =
-            pool.iter().enumerate().map(|(slot, &uid)| (uid, slot)).collect();
-        let links: Vec<LinkSpec> = pool
-            .iter()
-            .map(|&uid| LinkSpec::fair(cloud.mix.assign(cloud.seed, uid as u64).profile))
-            .collect();
-        let specs: Vec<JobSpec> = requests
-            .iter()
-            .map(|r| JobSpec {
-                id: r.id as u64,
-                release_us: r.arrival_us,
-                stages: vec![Stage::Transfer {
-                    label: "uplink",
-                    link: slot_of[&r.user_id],
-                    bytes: cloud.query_bytes,
-                    policy: cloud.uplink_policy,
-                }],
-            })
-            .collect();
-        let up = Simulator::new(links).run(&specs);
-        let original_arrivals: Vec<u64> = requests.iter().map(|r| r.arrival_us).collect();
-        requests = requests
-            .into_iter()
-            .zip(&up.jobs)
-            .filter_map(|(mut r, job)| {
-                (job.status == JobStatus::Completed).then(|| {
-                    r.arrival_us = job.end_us;
-                    r
-                })
-            })
-            .collect();
-        uplink_phase = Some((up, original_arrivals));
-    }
-
-    let scheduler = BatchScheduler::new(config.scheduler, registry.shard_count());
-    let batches = scheduler.coalesce(requests);
-    let engine = ServeEngine::new(&registry, config.tier);
     let mut sink = MetricsSink::default();
-    let mut completions: Vec<Completion> = Vec::new();
-    for batch in &batches {
-        let batch_completions = engine.execute(batch)?;
-        sink.record(batch, &batch_completions);
-        if config.cloud.is_some() {
-            completions.extend(batch_completions);
-        }
-    }
-
-    // Cloud deployment, return path: every response queues on the shared
-    // egress link; the round trip ends when the last byte lands.
-    let network = match (&config.cloud, uplink_phase) {
-        (Some(cloud), Some((up, original_arrivals))) => {
-            let egress = Simulator::new(vec![LinkSpec {
-                profile: cloud.egress,
-                discipline: cloud.egress_discipline,
-            }]);
-            completions.sort_by_key(|c| c.request_id);
-            let specs: Vec<JobSpec> = completions
-                .iter()
-                .map(|c| JobSpec {
-                    id: c.request_id as u64,
-                    release_us: c.dispatched_us + c.compute.as_micros() as u64,
-                    stages: vec![Stage::Transfer {
-                        label: "response",
-                        link: 0,
-                        bytes: cloud.response_bytes,
-                        policy: TransferPolicy::default(),
-                    }],
-                })
-                .collect();
-            let down = egress.run(&specs);
-            let mut rtts: Vec<u64> = down
-                .jobs
-                .iter()
-                .map(|job| job.end_us - original_arrivals[job.id as usize])
-                .collect();
-            rtts.sort_unstable();
-            let wait_p95 = |outcome: &pelican_sim::SimOutcome, label| {
-                pelican_sim::stage_stats(outcome, label).wait_p95_us
+    let network = match &config.cloud {
+        // Cloud deployment: the whole tier runs on the sim's virtual
+        // clock — uplink ingress, deadline timers, shard-serial fused
+        // compute and egress responses on one event heap.
+        Some(cloud) => {
+            let sim_config = SimServeConfig {
+                scheduler: config.scheduler,
+                tier: config.tier,
+                network: Some(*cloud),
             };
+            let outcome = simulate_serving(&registry, &requests, &sim_config)?;
+            for (batch, completions) in outcome.batches.iter().zip(&outcome.completions) {
+                sink.record(batch, completions);
+            }
+            let mut rtts: Vec<u64> = outcome.served.iter().map(|s| s.rtt_us()).collect();
+            rtts.sort_unstable();
             Some(CloudRtt {
                 requests: rtts.len(),
-                dropped: up.timed_out(),
+                dropped: outcome.dropped,
                 rtt_p50_us: nearest_rank(&rtts, 0.50).unwrap_or(0),
                 rtt_p95_us: nearest_rank(&rtts, 0.95).unwrap_or(0),
                 rtt_p99_us: nearest_rank(&rtts, 0.99).unwrap_or(0),
-                uplink_wait_p95_us: wait_p95(&up, "uplink"),
-                egress_wait_p95_us: wait_p95(&down, "response"),
-                fingerprint: up.fingerprint() ^ down.fingerprint().rotate_left(1),
+                uplink_wait_p95_us: stage_stats(&outcome.sim, "uplink").wait_p95_us,
+                egress_wait_p95_us: stage_stats(&outcome.sim, "response").wait_p95_us,
+                fingerprint: outcome.fingerprint(),
             })
         }
-        _ => None,
+        // On-device serving: no network to react to, so the offline
+        // coalescing path (whose semantics the regression tests pin) is
+        // exact and cheaper.
+        None => {
+            let scheduler = BatchScheduler::new(config.scheduler, registry.shard_count());
+            let batches = scheduler.coalesce(requests);
+            let engine = ServeEngine::new(&registry, config.tier);
+            for batch in &batches {
+                let batch_completions = engine.execute(batch)?;
+                sink.record(batch, &batch_completions);
+            }
+            None
+        }
     };
 
     let stats = registry.stats();

@@ -32,11 +32,13 @@
 //!
 //! [`fleet::run_fleet`] wires the four together for the `fleet_serve`
 //! example and the `serve-report` experiment. With
-//! [`fleet::FleetConfig::cloud`] set, every query round trip additionally
-//! pays the device↔cloud network through the [`pelican_sim`]
-//! discrete-event simulator: client uplinks are dealt from a seeded
-//! heterogeneous mix, responses queue on one shared contended egress
-//! link, and the round-trip summary lands in
+//! [`fleet::FleetConfig::cloud`] set, the whole tier runs on the
+//! [`pelican_sim`] virtual clock via [`simserve`]: queries cross their
+//! client's seeded uplink before they can be batched, shard buffers seal
+//! on sim timer events, fused batches occupy their shard's compute
+//! resource (back-to-back batches queue, and each completion carries a
+//! queue/service split), responses return over one shared contended
+//! egress link, and the round-trip summary lands in
 //! [`fleet::FleetOutcome::network`].
 //!
 //! # Example
@@ -68,10 +70,14 @@ pub mod fleet;
 pub mod metrics;
 pub mod registry;
 pub mod scheduler;
+pub mod simserve;
 pub mod traffic;
 
 pub use fleet::{run_fleet, CloudNetwork, CloudRtt, FleetConfig, FleetOutcome};
 pub use metrics::{MetricsSink, ServeReport};
 pub use registry::{Lookup, RegistryConfig, RegistryStats, ShardedRegistry};
 pub use scheduler::{Batch, BatchScheduler, Completion, Request, SchedulerConfig, ServeEngine};
+pub use simserve::{
+    batch_compositions, simulate_serving, ServedRequest, SimServeConfig, SimServeOutcome,
+};
 pub use traffic::{Arrival, TrafficConfig, TrafficGenerator};

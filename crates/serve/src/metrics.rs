@@ -17,6 +17,8 @@ use crate::scheduler::{Batch, Completion};
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSink {
     latencies_us: Vec<u64>,
+    queues_us: Vec<u64>,
+    services_us: Vec<u64>,
     batch_sizes: BTreeMap<usize, usize>,
     batches: usize,
     requests: usize,
@@ -34,8 +36,10 @@ impl MetricsSink {
         *self.batch_sizes.entry(batch.requests.len()).or_insert(0) += 1;
         for c in completions {
             self.requests += 1;
-            let finish = c.dispatched_us + c.compute.as_micros() as u64;
+            let finish = c.finish_us();
             self.latencies_us.push(finish.saturating_sub(c.arrival_us));
+            self.queues_us.push(c.queue_us);
+            self.services_us.push(c.service_us);
             self.first_arrival_us =
                 Some(self.first_arrival_us.map_or(c.arrival_us, |f| f.min(c.arrival_us)));
             self.last_finish_us = self.last_finish_us.max(finish);
@@ -49,8 +53,14 @@ impl MetricsSink {
 
     /// Snapshots the run into a report.
     pub fn report(&self, tier: ComputeTier, registry: RegistryStats) -> ServeReport {
-        let mut sorted = self.latencies_us.clone();
-        sorted.sort_unstable();
+        let sorted = |xs: &[u64]| {
+            let mut xs = xs.to_vec();
+            xs.sort_unstable();
+            xs
+        };
+        let latencies = sorted(&self.latencies_us);
+        let queues = sorted(&self.queues_us);
+        let services = sorted(&self.services_us);
         let span_us = self.last_finish_us.saturating_sub(self.first_arrival_us.unwrap_or(0));
         let throughput_qps =
             if span_us == 0 { 0.0 } else { self.requests as f64 / (span_us as f64 / 1e6) };
@@ -65,9 +75,13 @@ impl MetricsSink {
             },
             batch_histogram: self.batch_sizes.iter().map(|(&s, &n)| (s, n)).collect(),
             throughput_qps,
-            p50_us: percentile(&sorted, 0.50),
-            p95_us: percentile(&sorted, 0.95),
-            p99_us: percentile(&sorted, 0.99),
+            p50_us: percentile(&latencies, 0.50),
+            p95_us: percentile(&latencies, 0.95),
+            p99_us: percentile(&latencies, 0.99),
+            queue_p50_us: percentile(&queues, 0.50),
+            queue_p95_us: percentile(&queues, 0.95),
+            service_p50_us: percentile(&services, 0.50),
+            service_p95_us: percentile(&services, 0.95),
             fallback_share: if self.requests == 0 {
                 0.0
             } else {
@@ -107,6 +121,15 @@ pub struct ServeReport {
     pub p95_us: u64,
     /// 99th-percentile simulated latency, µs.
     pub p99_us: u64,
+    /// Median shard-compute queueing per request, µs (see
+    /// [`Completion::queue_us`]; zero on the offline path).
+    pub queue_p50_us: u64,
+    /// 95th-percentile shard-compute queueing, µs.
+    pub queue_p95_us: u64,
+    /// Median fused-batch service time per request, µs.
+    pub service_p50_us: u64,
+    /// 95th-percentile fused-batch service time, µs.
+    pub service_p95_us: u64,
     /// Share of requests answered by the general fallback model.
     pub fallback_share: f64,
     /// Registry cache counters at the end of the run.
@@ -124,6 +147,10 @@ impl ServeReport {
         out.push_str(&format!(
             "throughput {:>10.0} q/s (simulated)\nlatency    p50 {} µs  p95 {} µs  p99 {} µs\n",
             self.throughput_qps, self.p50_us, self.p95_us, self.p99_us
+        ));
+        out.push_str(&format!(
+            "compute    queue p50 {} µs  p95 {} µs | service p50 {} µs  p95 {} µs\n",
+            self.queue_p50_us, self.queue_p95_us, self.service_p50_us, self.service_p95_us
         ));
         out.push_str(&format!(
             "cache      {:.1}% hot-hit, {} evictions, {:.1}% fallback traffic\n",
@@ -145,7 +172,6 @@ impl ServeReport {
 mod tests {
     use super::*;
     use crate::scheduler::Request;
-    use std::time::Duration;
 
     fn completion(id: usize, arrival: u64, dispatched: u64, compute_us: u64) -> Completion {
         Completion {
@@ -153,7 +179,8 @@ mod tests {
             user_id: 0,
             arrival_us: arrival,
             dispatched_us: dispatched,
-            compute: Duration::from_micros(compute_us),
+            queue_us: 0,
+            service_us: compute_us,
             lookup: Lookup::Hot,
             probs: vec![1.0],
         }
@@ -189,6 +216,8 @@ mod tests {
         // Latencies: finish 15 minus arrivals 0..3 -> 15, 14, 13, 12.
         assert_eq!(report.p50_us, 13);
         assert_eq!(report.p99_us, 15);
+        assert_eq!(report.service_p95_us, 5, "service split mirrors the completions");
+        assert_eq!(report.queue_p95_us, 0, "offline completions never queue");
         assert!(report.throughput_qps > 0.0);
         assert!(!report.render().is_empty());
     }

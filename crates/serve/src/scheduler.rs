@@ -12,7 +12,6 @@
 //! [`SequenceModel::predict_proba_batch`]: pelican_nn::SequenceModel::predict_proba_batch
 
 use std::collections::HashMap;
-use std::time::Duration;
 
 use pelican::platform::{measure, ComputeTier};
 use pelican_nn::{ModelCodecError, Sequence, Step};
@@ -36,9 +35,18 @@ pub struct Request {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SchedulerConfig {
     /// Flush a shard's buffer as soon as it holds this many requests.
+    /// Must be positive ([`BatchScheduler::new`] panics on zero — an
+    /// empty batch could never dispatch).
     pub max_batch: usize,
     /// Flush a shard's buffer once its oldest request has waited this many
     /// simulated microseconds.
+    ///
+    /// `0` is accepted and degenerates to **one batch per arrival**: a
+    /// request's deadline expires the instant it is buffered, so the
+    /// next event to look at the shard (a later arrival or end of
+    /// stream) flushes it as a singleton. Batching is effectively
+    /// disabled — `max_batch` can never fill — which makes `0` the
+    /// latency-over-throughput extreme rather than an error.
     pub max_delay_us: u64,
 }
 
@@ -149,13 +157,28 @@ pub struct Completion {
     pub arrival_us: u64,
     /// When its batch was dispatched (simulated µs).
     pub dispatched_us: u64,
-    /// Simulated compute time of the whole fused batch — the batch
-    /// completes together, so every member pays the same compute.
-    pub compute: Duration,
+    /// Simulated µs the sealed batch waited for its shard's compute
+    /// resource after dispatch, mirroring the sim's
+    /// [`pelican_sim::StageReport`] queue/service split. Zero on the
+    /// offline [`BatchScheduler::coalesce`] path, where shard compute is
+    /// assumed idle; the sim-driven scheduler fills in real queueing
+    /// (back-to-back batches occupy the shard and cannot overlap).
+    pub queue_us: u64,
+    /// Simulated compute time of the whole fused batch, in µs — the
+    /// batch completes together, so every member pays the same service.
+    pub service_us: u64,
     /// How the registry found the answering model.
     pub lookup: Lookup,
     /// The confidence vector, bit-identical to an unbatched query.
     pub probs: Step,
+}
+
+impl Completion {
+    /// When the request's fused batch finished computing (µs):
+    /// dispatch + shard queueing + fused service.
+    pub fn finish_us(&self) -> u64 {
+        self.dispatched_us + self.queue_us + self.service_us
+    }
 }
 
 /// Executes batches against a registry on a simulated compute tier.
@@ -231,7 +254,10 @@ impl<'a> ServeEngine<'a> {
                     user_id: request.user_id,
                     arrival_us: request.arrival_us,
                     dispatched_us: batch.dispatched_us,
-                    compute: usage.simulated,
+                    queue_us: 0,
+                    // Ceil to whole µs (the sim clock's granularity) so
+                    // nonzero work always occupies the shard.
+                    service_us: (usage.simulated.as_nanos() as u64).div_ceil(1_000),
                     lookup,
                     probs,
                 }
@@ -275,6 +301,37 @@ mod tests {
     }
 
     #[test]
+    fn late_flushes_still_report_the_deadline_as_dispatch_time() {
+        // A deadline-expired buffer is only *noticed* at the next event
+        // (a much-later arrival, or end of stream), but the batch must
+        // report the deadline itself — that is when a real clock would
+        // have sealed it, and the sim-driven scheduler pins exactly this.
+        let s = scheduler(100, 50);
+        // Flushed by a much-later arrival on the other shard.
+        let batches = s.coalesce(vec![request(0, 0, 10), request(1, 1, 9_000)]);
+        assert_eq!(batches[0].dispatched_us, 60, "not 9000: the deadline sealed it");
+        // Flushed by end of stream.
+        let batches = s.coalesce(vec![request(0, 0, 10)]);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].dispatched_us, 60, "end-of-stream flush reports the deadline");
+    }
+
+    #[test]
+    fn zero_max_delay_degenerates_to_one_batch_per_arrival() {
+        // max_delay_us == 0 is legal: every request's deadline expires on
+        // arrival, so each flushes as a singleton and max_batch never
+        // fills — batching disabled, not a panic.
+        let s = scheduler(16, 0);
+        let batches = s.coalesce(vec![request(0, 0, 5), request(1, 0, 5), request(2, 0, 40)]);
+        assert_eq!(batches.len(), 3, "one batch per arrival, even for simultaneous ones");
+        for (batch, (id, at)) in batches.iter().zip([(0, 5), (1, 5), (2, 40)]) {
+            assert_eq!(batch.requests.len(), 1);
+            assert_eq!(batch.requests[0].id, id);
+            assert_eq!(batch.dispatched_us, at, "deadline == arrival when max_delay is 0");
+        }
+    }
+
+    #[test]
     fn batches_are_shard_local_and_lossless() {
         let s = scheduler(4, 100);
         let requests: Vec<Request> = (0..20).map(|i| request(i, i % 5, (i as u64) * 10)).collect();
@@ -314,7 +371,9 @@ mod tests {
                 expected.predict_proba(&batch.requests[c.request_id].xs),
                 "fused answers must be bit-identical to unbatched ones"
             );
-            assert!(c.compute > Duration::ZERO);
+            assert!(c.service_us > 0);
+            assert_eq!(c.queue_us, 0, "offline execution assumes an idle shard");
+            assert_eq!(c.finish_us(), c.dispatched_us + c.service_us);
         }
         assert_eq!(completions[6].lookup, Lookup::Fallback);
         assert_eq!(completions[7].lookup, Lookup::Fallback);

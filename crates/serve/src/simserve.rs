@@ -1,0 +1,567 @@
+//! The batch scheduler as a reactive workload on the simulator's virtual
+//! clock — one timeline for arrivals, batching, compute and responses.
+//!
+//! The offline [`BatchScheduler::coalesce`] replays an arrival stream on
+//! its own idealized clock: buffers seal at recorded timestamps, fused
+//! compute is priced after the fact and batches implicitly overlap. This
+//! module closes the loop instead. [`simulate_serving`] runs the whole
+//! serving tier inside one [`pelican_sim::Simulator::run_reactive`] pass:
+//!
+//! * every query **arrival** is a sim job — a transfer over the client's
+//!   own (seeded, heterogeneous) uplink when a [`CloudNetwork`] is
+//!   configured, a zero-stage job releasing at the client send time when
+//!   serving on-path — so the scheduler sees *cloud-ingress* times that
+//!   already include contention, jitter and drops;
+//! * shard buffers seal on **sim timer events**: the `max_delay`
+//!   deadline is an [`pelican_sim::SimControl::set_timer`] timer on the
+//!   virtual clock, and a `max_batch` fill seals inline at the filling
+//!   arrival's virtual instant;
+//! * fused batch compute **occupies the shard**: each sealed batch is
+//!   executed through [`ServeEngine`] and its simulated cost becomes a
+//!   FIFO transfer on the shard's
+//!   [`pelican_sim::LinkProfile::compute_resource`] link, so
+//!   back-to-back batches queue instead of overlapping and every
+//!   completion carries the real [`Completion::queue_us`] /
+//!   [`Completion::service_us`] split;
+//! * **responses** return over the shared contended egress link, closing
+//!   the round trip on the same event heap.
+//!
+//! With no network and no compute contention the sealed compositions are
+//! exactly what the offline scheduler produces (pinned by tests and the
+//! `cosim-report` experiment); under network jitter the compositions
+//! genuinely change — batching finally reacts to the network.
+
+use std::collections::HashMap;
+
+use pelican::platform::ComputeTier;
+use pelican_nn::ModelCodecError;
+use pelican_sim::{
+    JobReport, JobSpec, JobStatus, LinkProfile, LinkSpec, SimControl, SimOutcome, Simulator, Stage,
+    TransferPolicy, Workload,
+};
+
+use crate::fleet::CloudNetwork;
+use crate::registry::ShardedRegistry;
+use crate::scheduler::{Batch, Completion, Request, SchedulerConfig, ServeEngine};
+
+/// Everything the sim-driven serving pass needs besides the requests.
+#[derive(Debug, Clone, Copy)]
+pub struct SimServeConfig {
+    /// Coalescing knobs (same meaning as the offline scheduler's; the
+    /// deadline now lives on the virtual clock).
+    pub scheduler: SchedulerConfig,
+    /// Tier fused batches are costed on.
+    pub tier: ComputeTier,
+    /// Device↔cloud network. `None` feeds arrivals straight into the
+    /// scheduler at their send times (no uplink, no egress) — the
+    /// configuration whose batch compositions match the offline
+    /// scheduler exactly.
+    pub network: Option<CloudNetwork>,
+}
+
+/// One request's life on the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServedRequest {
+    /// The request id.
+    pub request_id: usize,
+    /// The querying user.
+    pub user_id: usize,
+    /// Client send time (µs).
+    pub sent_us: u64,
+    /// When the query reached the scheduler (µs) — after the uplink, if
+    /// one is configured.
+    pub ingress_us: u64,
+    /// When the answer was done (µs): response delivered over the
+    /// egress, or fused compute finished when serving without a network.
+    pub done_us: u64,
+}
+
+impl ServedRequest {
+    /// End-to-end round trip on the virtual clock (µs).
+    pub fn rtt_us(&self) -> u64 {
+        self.done_us - self.sent_us
+    }
+}
+
+/// A finished sim-driven serving pass.
+#[derive(Debug, Clone)]
+pub struct SimServeOutcome {
+    /// Sealed batches, in seal order on the virtual clock.
+    pub batches: Vec<Batch>,
+    /// Per-batch completions (parallel to `batches`), with the
+    /// queue/service split filled in from the shard occupancy.
+    pub completions: Vec<Vec<Completion>>,
+    /// Per-request round trips, ascending by request id.
+    pub served: Vec<ServedRequest>,
+    /// Queries dropped on the uplink (timeout retries exhausted).
+    pub dropped: usize,
+    /// The underlying simulation: every event of every phase on one heap.
+    pub sim: SimOutcome,
+}
+
+impl SimServeOutcome {
+    /// Determinism fingerprint of the unified event trace.
+    pub fn fingerprint(&self) -> u64 {
+        self.sim.fingerprint()
+    }
+
+    /// The batch compositions alone — see [`batch_compositions`] — for
+    /// comparing scheduling decisions across network conditions (and
+    /// against the offline scheduler).
+    pub fn compositions(&self) -> Vec<(usize, u64, Vec<usize>)> {
+        batch_compositions(&self.batches)
+    }
+}
+
+/// Each batch's scheduling identity — `(shard, dispatched_us, member
+/// request ids in order)` — the one shape every scheduler-fidelity
+/// comparison (sim-driven vs. offline, quiet vs. jittery) agrees on.
+pub fn batch_compositions(batches: &[Batch]) -> Vec<(usize, u64, Vec<usize>)> {
+    batches
+        .iter()
+        .map(|b| (b.shard, b.dispatched_us, b.requests.iter().map(|r| r.id).collect()))
+        .collect()
+}
+
+// Job-id namespaces on the shared heap: the top byte tags the class, the
+// low 56 bits carry the request/batch index.
+const KIND_SHIFT: u32 = 56;
+const KIND_ARRIVAL: u64 = 0;
+const KIND_BATCH: u64 = 1;
+const KIND_RESPONSE: u64 = 2;
+
+fn job_id(kind: u64, payload: u64) -> u64 {
+    debug_assert!(payload < 1 << KIND_SHIFT);
+    (kind << KIND_SHIFT) | payload
+}
+
+/// Runs the serving tier on the simulator's virtual clock: arrivals
+/// (optionally over client uplinks), deadline/fill sealing, shard-serial
+/// fused compute and egress responses all on one event heap.
+///
+/// Requests are normalized to `(arrival, id)` order first, exactly like
+/// the offline scheduler, so the outcome is invariant under permutation
+/// of the input vector. Identical inputs produce bit-identical outcomes,
+/// trace included.
+///
+/// # Errors
+///
+/// Returns [`ModelCodecError`] if a stored envelope fails to decode.
+///
+/// # Panics
+///
+/// Panics if `config.scheduler.max_batch` is zero or a request id is
+/// outside the 56-bit job-id namespace.
+pub fn simulate_serving(
+    registry: &ShardedRegistry,
+    requests: &[Request],
+    config: &SimServeConfig,
+) -> Result<SimServeOutcome, ModelCodecError> {
+    assert!(config.scheduler.max_batch > 0, "max_batch must be positive");
+    let n_shards = registry.shard_count();
+    let mut requests: Vec<Request> = requests.to_vec();
+    requests.sort_by_key(|r| (r.arrival_us, r.id));
+
+    // Link table: shard compute resources first (one FIFO lane per
+    // shard), then — in cloud mode — the shared egress and one uplink
+    // per distinct client, dealt from the seeded mix.
+    let mut links: Vec<LinkSpec> =
+        (0..n_shards).map(|_| LinkSpec::fifo(LinkProfile::compute_resource("shard"))).collect();
+    let mut egress_link = None;
+    let mut uplink_of: HashMap<usize, usize> = HashMap::new();
+    if let Some(cloud) = &config.network {
+        egress_link = Some(links.len());
+        links.push(LinkSpec { profile: cloud.egress, discipline: cloud.egress_discipline });
+        let mut users: Vec<usize> = requests.iter().map(|r| r.user_id).collect();
+        users.sort_unstable();
+        users.dedup();
+        for uid in users {
+            uplink_of.insert(uid, links.len());
+            links.push(LinkSpec::fair(cloud.mix.assign(cloud.seed, uid as u64).profile));
+        }
+    }
+
+    // Arrival jobs: an uplink transfer in cloud mode, a zero-stage job
+    // (completes at release) otherwise — either way the scheduler hears
+    // about the query through `on_job_end`, on the virtual clock.
+    let initial: Vec<JobSpec> = requests
+        .iter()
+        .map(|r| {
+            assert!((r.id as u64) < 1 << KIND_SHIFT, "request id outside job-id namespace");
+            let stages = match &config.network {
+                Some(cloud) => vec![Stage::Transfer {
+                    label: "uplink",
+                    link: uplink_of[&r.user_id],
+                    bytes: cloud.query_bytes,
+                    policy: cloud.uplink_policy,
+                }],
+                None => Vec::new(),
+            };
+            JobSpec { id: job_id(KIND_ARRIVAL, r.id as u64), release_us: r.arrival_us, stages }
+        })
+        .collect();
+
+    let mut flow = ServeFlow {
+        engine: ServeEngine::new(registry, config.tier),
+        config: config.scheduler,
+        n_shards,
+        egress_link,
+        response_bytes: config.network.map_or(0, |c| c.response_bytes),
+        pending: requests.iter().map(|r| (r.id, r.clone())).collect(),
+        sent_us: requests.iter().map(|r| (r.id, r.arrival_us)).collect(),
+        ingested: HashMap::new(),
+        buffers: vec![Vec::new(); n_shards],
+        deadlines: vec![u64::MAX; n_shards],
+        batches: Vec::new(),
+        completions: Vec::new(),
+        served: Vec::new(),
+        dropped: 0,
+        error: None,
+    };
+    let sim = Simulator::new(links).run_reactive(&initial, &mut flow);
+    if let Some(e) = flow.error {
+        return Err(e);
+    }
+    flow.served.sort_unstable_by_key(|s| s.request_id);
+    Ok(SimServeOutcome {
+        batches: flow.batches,
+        completions: flow.completions,
+        served: flow.served,
+        dropped: flow.dropped,
+        sim,
+    })
+}
+
+/// The scheduler-as-workload driving one serving pass.
+struct ServeFlow<'a> {
+    engine: ServeEngine<'a>,
+    config: SchedulerConfig,
+    n_shards: usize,
+    egress_link: Option<usize>,
+    response_bytes: u64,
+    /// Requests not yet ingested, by request id.
+    pending: HashMap<usize, Request>,
+    /// Client send times, by request id (ingress rewrites `arrival_us`).
+    sent_us: HashMap<usize, u64>,
+    /// `(user, ingress time)` of every ingested request, by request id.
+    ingested: HashMap<usize, (usize, u64)>,
+    /// Per-shard open buffers, in ingress order.
+    buffers: Vec<Vec<Request>>,
+    /// Per-shard open-buffer deadlines (`u64::MAX` = no open buffer),
+    /// exactly the bookkeeping [`crate::scheduler::BatchScheduler`]
+    /// keeps — sealing decisions are made from this table, never from
+    /// event arrival order, so same-instant ties (an arrival landing
+    /// exactly on a deadline, two shards expiring together) resolve
+    /// identically to the offline scheduler.
+    deadlines: Vec<u64>,
+    batches: Vec<Batch>,
+    completions: Vec<Vec<Completion>>,
+    served: Vec<ServedRequest>,
+    dropped: usize,
+    error: Option<ModelCodecError>,
+}
+
+impl ServeFlow<'_> {
+    /// Seals every buffer whose deadline has passed, in deterministic
+    /// `(deadline, shard)` order — the mirror of the offline scheduler's
+    /// `flush_expired`, run before any buffering at the same instant so
+    /// an arrival landing exactly on a deadline opens a *fresh* buffer.
+    fn flush_expired(&mut self, now: u64, sim: &mut SimControl) {
+        let mut due: Vec<(u64, usize)> = self
+            .deadlines
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d != u64::MAX && d <= now)
+            .map(|(shard, &d)| (d, shard))
+            .collect();
+        due.sort_unstable();
+        for (deadline, shard) in due {
+            self.seal(shard, deadline, sim);
+        }
+    }
+
+    /// A query reached the scheduler at virtual time `now`: flush
+    /// anything already due, buffer it, arm the shard's deadline if the
+    /// buffer just opened, seal on fill.
+    fn ingest(&mut self, mut request: Request, now: u64, sim: &mut SimControl) {
+        self.flush_expired(now, sim);
+        let shard = request.user_id % self.n_shards;
+        request.arrival_us = now;
+        self.ingested.insert(request.id, (request.user_id, now));
+        if self.buffers[shard].is_empty() {
+            let deadline = now.saturating_add(self.config.max_delay_us);
+            self.deadlines[shard] = deadline;
+            sim.set_timer(deadline, shard as u64);
+        }
+        self.buffers[shard].push(request);
+        if self.buffers[shard].len() >= self.config.max_batch {
+            self.seal(shard, now, sim);
+        }
+    }
+
+    /// Seals the shard's buffer, dispatched at virtual time `now` (the
+    /// deadline itself for deadline seals): execute the fused batch
+    /// host-side, then occupy the shard's compute resource for the
+    /// measured simulated cost.
+    fn seal(&mut self, shard: usize, now: u64, sim: &mut SimControl) {
+        self.deadlines[shard] = u64::MAX;
+        if self.error.is_some() {
+            self.buffers[shard].clear();
+            return;
+        }
+        let batch =
+            Batch { shard, dispatched_us: now, requests: std::mem::take(&mut self.buffers[shard]) };
+        match self.engine.execute(&batch) {
+            Ok(completions) => {
+                // Every member shares the fused kernel, so any member's
+                // service time is the batch's compute occupancy.
+                let service_us = completions.first().map_or(0, |c| c.service_us);
+                let index = self.batches.len() as u64;
+                sim.submit(JobSpec {
+                    id: job_id(KIND_BATCH, index),
+                    release_us: now,
+                    stages: vec![Stage::Transfer {
+                        label: "compute",
+                        link: shard,
+                        bytes: service_us,
+                        policy: TransferPolicy::default(),
+                    }],
+                });
+                self.batches.push(batch);
+                self.completions.push(completions);
+            }
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    /// A batch's shard occupancy finished: back-fill the queue/service
+    /// split and send every response down the egress (or finish the
+    /// requests in place when serving without a network).
+    fn batch_done(&mut self, index: usize, job: &JobReport, sim: &mut SimControl) {
+        let stage = job.stage("compute").expect("batch jobs have exactly one compute stage");
+        for c in &mut self.completions[index] {
+            c.queue_us = stage.wait_us();
+        }
+        let ids: Vec<usize> = self.batches[index].requests.iter().map(|r| r.id).collect();
+        for id in ids {
+            match self.egress_link {
+                Some(egress) => sim.submit(JobSpec {
+                    id: job_id(KIND_RESPONSE, id as u64),
+                    release_us: sim.now(),
+                    stages: vec![Stage::Transfer {
+                        label: "response",
+                        link: egress,
+                        bytes: self.response_bytes,
+                        policy: TransferPolicy::default(),
+                    }],
+                }),
+                None => self.finish(id, sim.now()),
+            }
+        }
+    }
+
+    fn finish(&mut self, request_id: usize, done_us: u64) {
+        let (user_id, ingress_us) = self.ingested[&request_id];
+        let sent_us = self.sent_us[&request_id];
+        self.served.push(ServedRequest { request_id, user_id, sent_us, ingress_us, done_us });
+    }
+}
+
+impl Workload for ServeFlow<'_> {
+    fn on_job_end(&mut self, job: &JobReport, sim: &mut SimControl) {
+        let payload = (job.id & ((1 << KIND_SHIFT) - 1)) as usize;
+        match job.id >> KIND_SHIFT {
+            KIND_ARRIVAL => {
+                let request =
+                    self.pending.remove(&payload).expect("one arrival job per pending request");
+                if job.status == JobStatus::Completed {
+                    self.ingest(request, job.end_us, sim);
+                } else {
+                    self.dropped += 1;
+                }
+            }
+            KIND_BATCH => self.batch_done(payload, job, sim),
+            KIND_RESPONSE => self.finish(payload, job.end_us),
+            _ => unreachable!("unknown job-id namespace"),
+        }
+    }
+
+    fn on_timer(&mut self, _key: u64, sim: &mut SimControl) {
+        // A timer is only a wake-up at a moment some deadline was armed
+        // for; the deadline table decides what actually seals. A stale
+        // timer (its buffer sealed early on a `max_batch` fill, or
+        // replaced by a younger buffer with a later deadline) flushes
+        // nothing.
+        self.flush_expired(sim.now(), sim);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::RegistryConfig;
+    use crate::scheduler::BatchScheduler;
+    use pelican_sim::{LinkMix, RetryPolicy, StragglerConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn registry(shards: usize) -> ShardedRegistry {
+        let mut rng = StdRng::seed_from_u64(9);
+        let general = pelican_nn::SequenceModel::single_lstm(4, 6, 3, 0.0, &mut rng);
+        let registry = ShardedRegistry::new(general, RegistryConfig { shards, hot_capacity: 4 });
+        for uid in 0..6 {
+            let personalized = pelican_nn::SequenceModel::single_lstm(4, 6, 3, 0.0, &mut rng);
+            registry.enroll(uid, &personalized);
+        }
+        registry
+    }
+
+    fn request(id: usize, user_id: usize, arrival_us: u64) -> Request {
+        Request { id, user_id, arrival_us, xs: vec![vec![0.1; 4]; 2] }
+    }
+
+    fn stream(n: usize) -> Vec<Request> {
+        (0..n).map(|i| request(i, i % 6, 137 * i as u64 + (i as u64 % 3) * 41)).collect()
+    }
+
+    fn config(scheduler: SchedulerConfig, network: Option<CloudNetwork>) -> SimServeConfig {
+        SimServeConfig { scheduler, tier: ComputeTier::Cloud, network }
+    }
+
+    #[test]
+    fn jitter_free_compositions_match_the_offline_scheduler_exactly() {
+        let registry = registry(2);
+        let requests = stream(40);
+        let scheduler_config = SchedulerConfig { max_batch: 4, max_delay_us: 900 };
+        let sim = simulate_serving(&registry, &requests, &config(scheduler_config, None))
+            .expect("envelopes decode");
+        let offline = BatchScheduler::new(scheduler_config, 2).coalesce(requests);
+        assert_eq!(
+            sim.compositions(),
+            batch_compositions(&offline),
+            "with no network the virtual clock reproduces the offline scheduler"
+        );
+        assert_eq!(sim.dropped, 0);
+        assert_eq!(sim.served.len(), 40);
+    }
+
+    #[test]
+    fn same_instant_ties_match_the_offline_scheduler() {
+        let registry = registry(2);
+        // An arrival landing exactly on its shard's deadline must not
+        // join the sealing batch — the offline scheduler flushes the
+        // expired buffer first, and so must the virtual clock.
+        let scheduler_config = SchedulerConfig { max_batch: 100, max_delay_us: 100 };
+        let requests = vec![request(0, 0, 0), request(1, 0, 100)];
+        let sim = simulate_serving(&registry, &requests, &config(scheduler_config, None))
+            .expect("envelopes decode");
+        let offline = BatchScheduler::new(scheduler_config, 2).coalesce(requests);
+        assert_eq!(sim.compositions(), batch_compositions(&offline));
+        assert_eq!(sim.batches.len(), 2, "the tie arrival opens a fresh buffer");
+        assert_eq!(sim.batches[0].dispatched_us, 100);
+        assert_eq!(sim.batches[1].dispatched_us, 200);
+
+        // Deadlines on different shards expiring at the same instant
+        // seal in (deadline, shard) order, not buffer-open order.
+        let scheduler_config = SchedulerConfig { max_batch: 100, max_delay_us: 50 };
+        let requests = vec![request(0, 1, 0), request(1, 0, 0)];
+        let sim = simulate_serving(&registry, &requests, &config(scheduler_config, None))
+            .expect("envelopes decode");
+        let offline = BatchScheduler::new(scheduler_config, 2).coalesce(requests);
+        assert_eq!(sim.compositions(), batch_compositions(&offline));
+        assert_eq!(sim.batches[0].shard, 0, "shard 0 seals first on equal deadlines");
+        assert_eq!(sim.batches[1].shard, 1);
+    }
+
+    #[test]
+    fn network_jitter_changes_the_batch_compositions() {
+        let registry = registry(2);
+        let requests = stream(40);
+        let scheduler_config = SchedulerConfig { max_batch: 4, max_delay_us: 900 };
+        let jittery = CloudNetwork {
+            mix: LinkMix::cellular_heavy()
+                .with_stragglers(StragglerConfig { fraction: 0.3, slowdown: 6.0 }),
+            ..CloudNetwork::default()
+        };
+        let quiet = simulate_serving(&registry, &requests, &config(scheduler_config, None))
+            .expect("envelopes decode");
+        let shaken =
+            simulate_serving(&registry, &requests, &config(scheduler_config, Some(jittery)))
+                .expect("envelopes decode");
+        assert_ne!(
+            quiet.compositions(),
+            shaken.compositions(),
+            "uplink jitter must reshape the batches"
+        );
+        // Every request still served exactly once.
+        let mut ids: Vec<usize> =
+            shaken.batches.iter().flat_map(|b| b.requests.iter().map(|r| r.id)).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..40).collect::<Vec<_>>());
+        // Responses pay the egress: every round trip ends after ingress.
+        for s in &shaken.served {
+            assert!(s.done_us > s.ingress_us);
+            assert!(s.ingress_us > s.sent_us, "uplinks take time");
+        }
+    }
+
+    #[test]
+    fn back_to_back_batches_queue_on_the_shard() {
+        // One shard, simultaneous arrivals, singleton batches: all six
+        // seal at t = 0, so five of them must wait for the shard, and
+        // the split must surface in the completions.
+        let registry = registry(1);
+        let requests: Vec<Request> = (0..6).map(|i| request(i, 0, 0)).collect();
+        let scheduler_config = SchedulerConfig { max_batch: 1, max_delay_us: 10 };
+        let out = simulate_serving(&registry, &requests, &config(scheduler_config, None))
+            .expect("envelopes decode");
+        assert_eq!(out.batches.len(), 6, "max_batch 1 seals every arrival instantly");
+        let queued: Vec<u64> =
+            out.completions.iter().flat_map(|cs| cs.iter().map(|c| c.queue_us)).collect();
+        assert_eq!(queued[0], 0, "first batch finds the shard idle");
+        assert!(
+            queued[1..].iter().any(|&q| q > 0),
+            "later batches must wait for the shard: {queued:?}"
+        );
+        for cs in &out.completions {
+            for c in cs {
+                assert!(c.service_us > 0);
+                assert_eq!(c.finish_us(), c.dispatched_us + c.queue_us + c.service_us);
+            }
+        }
+    }
+
+    #[test]
+    fn sim_serving_is_deterministic_and_permutation_invariant() {
+        let registry = registry(2);
+        let requests = stream(24);
+        let mut reversed = requests.clone();
+        reversed.reverse();
+        let cfg = config(SchedulerConfig { max_batch: 3, max_delay_us: 500 }, None);
+        let a = simulate_serving(&registry, &requests, &cfg).expect("envelopes decode");
+        let b = simulate_serving(&registry, &requests, &cfg).expect("envelopes decode");
+        let c = simulate_serving(&registry, &reversed, &cfg).expect("envelopes decode");
+        assert_eq!(a.sim.trace, b.sim.trace);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), c.fingerprint(), "input order is normalized away");
+        assert_eq!(a.compositions(), c.compositions());
+    }
+
+    #[test]
+    fn uplink_timeouts_drop_queries_before_batching() {
+        let registry = registry(2);
+        let requests = stream(12);
+        let strangled = CloudNetwork {
+            mix: LinkMix::all_wifi()
+                .with_stragglers(StragglerConfig { fraction: 0.4, slowdown: 50.0 }),
+            uplink_policy: TransferPolicy { timeout_us: Some(30_000), retry: RetryPolicy::none() },
+            ..CloudNetwork::default()
+        };
+        let cfg = config(SchedulerConfig { max_batch: 4, max_delay_us: 900 }, Some(strangled));
+        let out = simulate_serving(&registry, &requests, &cfg).expect("envelopes decode");
+        assert!(out.dropped > 0, "50x stragglers cannot beat a 30 ms uplink timeout");
+        let batched: usize = out.batches.iter().map(|b| b.requests.len()).sum();
+        assert_eq!(batched + out.dropped, 12, "dropped queries never reach a batch");
+        assert_eq!(out.served.len(), batched);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests pinning the offline scheduler's semantics ahead of the
+//! sim-driven path: `coalesce` must be a pure function of the request
+//! *set* — its first move is normalizing to `(arrival, id)` order, so no
+//! permutation of the input vector may change a single batch — and no
+//! request may ever be duplicated or dropped.
+
+use proptest::prelude::*;
+
+use pelican_serve::{BatchScheduler, Request, SchedulerConfig};
+use pelican_sim::mix64;
+
+fn requests(arrivals: &[(usize, u64)]) -> Vec<Request> {
+    arrivals
+        .iter()
+        .enumerate()
+        .map(|(id, &(user_id, arrival_us))| Request {
+            id,
+            user_id,
+            arrival_us,
+            xs: vec![vec![0.1; 2]; 1],
+        })
+        .collect()
+}
+
+/// Seeded Fisher-Yates so the permutation is a pure function of `seed`.
+fn permute<T>(xs: &mut [T], seed: u64) {
+    for i in (1..xs.len()).rev() {
+        let j = (mix64(seed ^ (i as u64) << 17) % (i as u64 + 1)) as usize;
+        xs.swap(i, j);
+    }
+}
+
+/// A batch's identity: shard, dispatch time and member ids in order.
+fn compositions(
+    scheduler: &BatchScheduler,
+    requests: Vec<Request>,
+) -> Vec<(usize, u64, Vec<usize>)> {
+    scheduler
+        .coalesce(requests)
+        .into_iter()
+        .map(|b| (b.shard, b.dispatched_us, b.requests.iter().map(|r| r.id).collect()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn coalesce_is_invariant_under_input_permutation(
+        arrivals in prop::collection::vec((0usize..7, 0u64..50_000), 1..80),
+        max_batch in 1usize..6,
+        max_delay_us in 0u64..3_000,
+        shards in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let scheduler = BatchScheduler::new(SchedulerConfig { max_batch, max_delay_us }, shards);
+        let ordered = requests(&arrivals);
+        let mut shuffled = ordered.clone();
+        permute(&mut shuffled, seed);
+        prop_assert_eq!(
+            compositions(&scheduler, ordered),
+            compositions(&scheduler, shuffled),
+            "coalesce must not depend on input vector order"
+        );
+    }
+
+    #[test]
+    fn coalesce_is_lossless_and_respects_both_limits(
+        arrivals in prop::collection::vec((0usize..9, 0u64..50_000), 1..80),
+        max_batch in 1usize..6,
+        max_delay_us in 0u64..3_000,
+        shards in 1usize..4,
+    ) {
+        let scheduler = BatchScheduler::new(SchedulerConfig { max_batch, max_delay_us }, shards);
+        let batches = scheduler.coalesce(requests(&arrivals));
+        let mut seen: Vec<usize> = Vec::new();
+        for batch in &batches {
+            prop_assert!(!batch.requests.is_empty(), "empty batches never dispatch");
+            prop_assert!(batch.requests.len() <= max_batch);
+            for r in &batch.requests {
+                prop_assert_eq!(r.user_id % shards, batch.shard, "batches stay shard-local");
+                // A batch dispatches no later than its oldest member's
+                // deadline and no earlier than its newest member's arrival.
+                prop_assert!(batch.dispatched_us >= r.arrival_us);
+                prop_assert!(
+                    batch.dispatched_us <= batch.requests[0].arrival_us + max_delay_us,
+                    "the oldest member's deadline caps the dispatch time"
+                );
+                seen.push(r.id);
+            }
+        }
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..arrivals.len()).collect::<Vec<_>>());
+    }
+}

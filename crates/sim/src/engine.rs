@@ -10,11 +10,23 @@
 //! can expire while still queued) and a [`RetryPolicy`] that resubmits
 //! with exponential backoff until attempts run out.
 //!
+//! The engine runs in two modes. [`Simulator::run`] is the closed replay:
+//! every job is known up front and the simulation prices the fixed
+//! workload. [`Simulator::run_reactive`] adds a [`Workload`] hook — the
+//! caller observes every job ending (completed or timed out) *at virtual
+//! time* and may inject new jobs and timer events mid-run, which is what
+//! lets schedulers seal batches on the virtual clock and training loops
+//! react to network failures instead of replaying a finished run.
+//!
 //! Determinism: the event heap orders by `(time, insertion sequence)`, so
 //! simultaneous events resolve in scheduling order and the entire run —
-//! event trace included — is a pure function of the links and job specs.
-//! There is no randomness anywhere in the engine; seeds only enter through
-//! what callers build (e.g. [`crate::LinkMix::assign`]).
+//! event trace included — is a pure function of the links, job specs and
+//! (in reactive mode) the workload's deterministic responses. A closed
+//! [`Simulator::run`] is exactly `run_reactive` with a workload that never
+//! reacts, so replaying the same specs through either mode produces
+//! bit-identical traces and fingerprints. There is no randomness anywhere
+//! in the engine; seeds only enter through what callers build (e.g.
+//! [`crate::LinkMix::assign`]).
 
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, VecDeque};
@@ -204,6 +216,82 @@ impl SimOutcome {
     }
 }
 
+/// Reactive-mode hook: observes jobs ending at virtual time and injects
+/// new jobs and timers into the running simulation.
+///
+/// Both callbacks receive a [`SimControl`] handle scoped to the current
+/// virtual instant. Determinism is preserved as long as the workload
+/// itself is deterministic: injected events receive insertion sequence
+/// numbers in call order, so the same inputs always replay to the same
+/// `(time, seq)` schedule and the same trace.
+pub trait Workload {
+    /// Called the moment a job reaches a terminal state — every stage
+    /// completed, or a transfer exhausted its retries (`job.status` tells
+    /// which). Jobs end in virtual-time order, ties in scheduling order.
+    fn on_job_end(&mut self, job: &JobReport, sim: &mut SimControl);
+
+    /// Called when a timer set via [`SimControl::set_timer`] fires. The
+    /// engine never cancels timers; workloads that re-arm deadlines
+    /// should carry an epoch in `key` and ignore stale firings.
+    fn on_timer(&mut self, key: u64, sim: &mut SimControl) {
+        let _ = (key, sim);
+    }
+}
+
+/// The caller's handle into a running reactive simulation, valid for one
+/// callback invocation.
+pub struct SimControl<'c, 'a> {
+    now: u64,
+    runner: &'c mut Runner<'a>,
+}
+
+impl SimControl<'_, '_> {
+    /// The current virtual time (µs).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Injects a new job. A release time in the past is clamped to the
+    /// current virtual instant (the clock never rewinds); the clamped
+    /// time is what the job's report and trace carry. The job's report
+    /// appears in [`SimOutcome::jobs`] after every initial job, in
+    /// injection order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transfer references a link outside the table or a
+    /// retry policy allows zero attempts.
+    pub fn submit(&mut self, mut spec: JobSpec) {
+        validate(self.runner.links, &spec);
+        spec.release_us = spec.release_us.max(self.now);
+        self.runner.admit(spec);
+    }
+
+    /// Schedules [`Workload::on_timer`] to fire with `key` at virtual
+    /// time `at` (clamped to the current instant if already past).
+    pub fn set_timer(&mut self, at: u64, key: u64) {
+        self.runner.push(at.max(self.now), Ev::Timer { key });
+    }
+}
+
+/// Closed-mode workload: never reacts, so `run` is a pure replay.
+struct Unreactive;
+
+impl Workload for Unreactive {
+    fn on_job_end(&mut self, _job: &JobReport, _sim: &mut SimControl) {}
+}
+
+/// Panics unless every transfer stage references a known link and allows
+/// at least one attempt.
+fn validate(links: &[LinkSpec], spec: &JobSpec) {
+    for stage in &spec.stages {
+        if let Stage::Transfer { link, policy, .. } = stage {
+            assert!(*link < links.len(), "transfer references unknown link {link}");
+            assert!(policy.retry.max_attempts >= 1, "retry policy needs >= 1 attempt");
+        }
+    }
+}
+
 /// The discrete-event simulator over a fixed link table.
 #[derive(Debug, Clone)]
 pub struct Simulator {
@@ -229,16 +317,25 @@ impl Simulator {
     /// Panics if a transfer references a link outside the table or a
     /// retry policy allows zero attempts.
     pub fn run(&self, specs: &[JobSpec]) -> SimOutcome {
-        for spec in specs {
-            for stage in &spec.stages {
-                if let Stage::Transfer { link, policy, .. } = stage {
-                    assert!(*link < self.links.len(), "transfer references unknown link {link}");
-                    assert!(policy.retry.max_attempts >= 1, "retry policy needs >= 1 attempt");
-                }
-            }
+        self.run_reactive(specs, &mut Unreactive)
+    }
+
+    /// Runs the simulation reactively: `initial` jobs release as
+    /// specified, and `workload` observes every job ending (and every
+    /// timer firing) at virtual time, injecting further jobs and timers
+    /// through the provided [`SimControl`]. With a workload that never
+    /// reacts this is exactly [`Simulator::run`], trace included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transfer (initial or injected) references a link
+    /// outside the table or a retry policy allows zero attempts.
+    pub fn run_reactive(&self, initial: &[JobSpec], workload: &mut dyn Workload) -> SimOutcome {
+        for spec in initial {
+            validate(&self.links, spec);
         }
-        let mut runner = Runner::new(&self.links, specs);
-        runner.run();
+        let mut runner = Runner::new(&self.links, initial.to_vec());
+        runner.run(workload);
         runner.into_outcome()
     }
 }
@@ -281,6 +378,7 @@ enum Ev {
     FairCheck { link: usize, epoch: u64 },
     Timeout { job: usize, stage: usize, attempt: u32 },
     Resubmit { job: usize, stage: usize },
+    Timer { key: u64 },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -314,16 +412,19 @@ struct JobRun {
 
 struct Runner<'a> {
     links: &'a [LinkSpec],
-    specs: &'a [JobSpec],
+    specs: Vec<JobSpec>,
     heap: BinaryHeap<Reverse<Scheduled>>,
     seq: u64,
     link_states: Vec<LinkState>,
     jobs: Vec<JobRun>,
     trace: Vec<TraceEvent>,
+    /// Jobs that reached a terminal state during the current event,
+    /// awaiting their `on_job_end` callback (drained in order).
+    finished: VecDeque<usize>,
 }
 
 impl<'a> Runner<'a> {
-    fn new(links: &'a [LinkSpec], specs: &'a [JobSpec]) -> Self {
+    fn new(links: &'a [LinkSpec], initial: Vec<JobSpec>) -> Self {
         let link_states = links
             .iter()
             .map(|l| match l.discipline {
@@ -335,23 +436,29 @@ impl<'a> Runner<'a> {
                 }
             })
             .collect();
-        let jobs = specs
-            .iter()
-            .map(|_| JobRun { cursor: 0, attempt: 1, status: None, stages: Vec::new() })
-            .collect();
         let mut runner = Self {
             links,
-            specs,
+            specs: Vec::new(),
             heap: BinaryHeap::new(),
             seq: 0,
             link_states,
-            jobs,
+            jobs: Vec::new(),
             trace: Vec::new(),
+            finished: VecDeque::new(),
         };
-        for (j, spec) in specs.iter().enumerate() {
-            runner.push(spec.release_us, Ev::Release { job: j });
+        for spec in initial {
+            runner.admit(spec);
         }
         runner
+    }
+
+    /// Registers a job (initial or injected) and schedules its release.
+    fn admit(&mut self, spec: JobSpec) {
+        let j = self.specs.len();
+        self.jobs.push(JobRun { cursor: 0, attempt: 1, status: None, stages: Vec::new() });
+        let release_us = spec.release_us;
+        self.specs.push(spec);
+        self.push(release_us, Ev::Release { job: j });
     }
 
     fn push(&mut self, at: u64, ev: Ev) {
@@ -370,9 +477,14 @@ impl<'a> Runner<'a> {
         job.status.is_none() && job.cursor == stage && job.attempt == attempt
     }
 
-    fn run(&mut self) {
+    fn run(&mut self, workload: &mut dyn Workload) {
         while let Some(Reverse(Scheduled { at, ev, .. })) = self.heap.pop() {
             match ev {
+                Ev::Timer { key } => {
+                    self.trace.push(TraceEvent::TimerFired { t: at, key });
+                    let mut sim = SimControl { now: at, runner: self };
+                    workload.on_timer(key, &mut sim);
+                }
                 Ev::Release { job } => {
                     self.trace.push(TraceEvent::JobReleased { t: at, job: self.id(job) });
                     self.start_stage(job, at);
@@ -405,18 +517,48 @@ impl<'a> Runner<'a> {
                     }
                 }
             }
+            // Jobs that just ended surface to the workload while the
+            // clock still reads their end instant; reactions (submit,
+            // set_timer) schedule behind every event already queued for
+            // this instant, preserving `(time, seq)` determinism.
+            while let Some(j) = self.finished.pop_front() {
+                let report = self.job_report(j);
+                let mut sim = SimControl { now: at, runner: self };
+                workload.on_job_end(&report, &mut sim);
+            }
+        }
+    }
+
+    /// Snapshot of one terminal job's report (for workload callbacks).
+    fn job_report(&self, j: usize) -> JobReport {
+        let run = &self.jobs[j];
+        let spec = &self.specs[j];
+        let status = run.status.expect("job_report only runs on terminal jobs");
+        let end_us = match status {
+            JobStatus::Completed => run.stages.last().map_or(spec.release_us, |s| s.completed_us),
+            JobStatus::TimedOut { .. } => {
+                run.stages.last().expect("failed job has a failing stage").completed_us
+            }
+        };
+        JobReport {
+            id: spec.id,
+            release_us: spec.release_us,
+            end_us,
+            status,
+            stages: run.stages.clone(),
         }
     }
 
     /// Enters the job's current stage at time `t` (or completes the job
     /// if no stages remain).
     fn start_stage(&mut self, j: usize, t: u64) {
-        let Some(stage) = self.specs[j].stages.get(self.jobs[j].cursor) else {
+        let Some(stage) = self.specs[j].stages.get(self.jobs[j].cursor).copied() else {
             self.jobs[j].status = Some(JobStatus::Completed);
             self.trace.push(TraceEvent::JobCompleted { t, job: self.id(j) });
+            self.finished.push_back(j);
             return;
         };
-        match *stage {
+        match stage {
             Stage::Compute { label, duration_us } => {
                 let cursor = self.jobs[j].cursor;
                 self.jobs[j].stages.push(StageReport {
@@ -657,6 +799,7 @@ impl<'a> Runner<'a> {
             report.completed_us = t;
             report.attempts = attempt;
             self.jobs[j].status = Some(JobStatus::TimedOut { stage });
+            self.finished.push_back(j);
         }
     }
 
@@ -877,6 +1020,189 @@ mod tests {
         assert_eq!(a.trace, b.trace);
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert_eq!(a.jobs, b.jobs);
+    }
+
+    #[test]
+    fn reactive_with_unreactive_workload_matches_closed_run_bit_for_bit() {
+        struct Passive;
+        impl Workload for Passive {
+            fn on_job_end(&mut self, _job: &JobReport, _sim: &mut SimControl) {}
+        }
+        let jobs: Vec<JobSpec> = (0..6)
+            .map(|i| JobSpec {
+                id: i,
+                release_us: i * 700,
+                stages: vec![
+                    xfer(0, 200_000 + i * 7_000),
+                    Stage::Compute { label: "train", duration_us: 11_000 },
+                ],
+            })
+            .collect();
+        let sim = Simulator::new(vec![wifi_fifo()]);
+        let closed = sim.run(&jobs);
+        let reactive = sim.run_reactive(&jobs, &mut Passive);
+        assert_eq!(closed.trace, reactive.trace);
+        assert_eq!(closed.fingerprint(), reactive.fingerprint());
+        assert_eq!(closed.jobs, reactive.jobs);
+    }
+
+    #[test]
+    fn workload_observes_ends_and_injects_follow_up_jobs() {
+        // Each completed transfer spawns a follow-up compute job at its
+        // end time; the chain stops after two generations.
+        struct Chain {
+            seen: Vec<(u64, u64)>,
+        }
+        impl Workload for Chain {
+            fn on_job_end(&mut self, job: &JobReport, sim: &mut SimControl) {
+                assert_eq!(job.end_us, sim.now(), "callbacks run at the job's end instant");
+                self.seen.push((job.id, job.end_us));
+                if job.id < 100 {
+                    sim.submit(JobSpec {
+                        id: 100 + job.id,
+                        release_us: sim.now(),
+                        stages: vec![Stage::Compute { label: "follow", duration_us: 5_000 }],
+                    });
+                }
+            }
+        }
+        let initial = vec![JobSpec { id: 0, release_us: 0, stages: vec![xfer(0, 125_000)] }];
+        let mut chain = Chain { seen: Vec::new() };
+        let out = Simulator::new(vec![wifi_fifo()]).run_reactive(&initial, &mut chain);
+        // 18 ms transfer, then the injected 5 ms compute.
+        assert_eq!(chain.seen, vec![(0, 18_000), (100, 23_000)]);
+        assert_eq!(out.jobs.len(), 2, "injected jobs report after initial ones");
+        assert_eq!(out.jobs[1].id, 100);
+        assert_eq!(out.jobs[1].release_us, 18_000);
+        assert_eq!(out.jobs[1].end_us, 23_000);
+        assert!(out.trace.iter().any(|e| matches!(e, TraceEvent::JobReleased { job: 100, .. })));
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_carry_their_keys() {
+        struct Timers {
+            fired: Vec<(u64, u64)>,
+        }
+        impl Workload for Timers {
+            fn on_job_end(&mut self, job: &JobReport, sim: &mut SimControl) {
+                // Two timers, set out of order; a past deadline clamps to now.
+                if job.id == 0 {
+                    sim.set_timer(40_000, 2);
+                    sim.set_timer(20_000, 1);
+                    sim.set_timer(3, 9);
+                }
+            }
+            fn on_timer(&mut self, key: u64, sim: &mut SimControl) {
+                self.fired.push((sim.now(), key));
+                if key == 1 {
+                    sim.submit(JobSpec {
+                        id: 7,
+                        release_us: sim.now(),
+                        stages: vec![Stage::Compute { label: "late", duration_us: 1_000 }],
+                    });
+                }
+            }
+        }
+        let initial = vec![JobSpec {
+            id: 0,
+            release_us: 0,
+            stages: vec![Stage::Compute { label: "seed", duration_us: 10_000 }],
+        }];
+        let mut w = Timers { fired: Vec::new() };
+        let out = Simulator::new(vec![wifi_fifo()]).run_reactive(&initial, &mut w);
+        assert_eq!(w.fired, vec![(10_000, 9), (20_000, 1), (40_000, 2)]);
+        assert_eq!(out.jobs.len(), 2);
+        assert_eq!(out.jobs[1].end_us, 21_000);
+        let timer_events: Vec<u64> = out
+            .trace
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::TimerFired { key, .. } => Some(*key),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(timer_events, vec![9, 1, 2], "timers land in the trace in firing order");
+    }
+
+    #[test]
+    fn timed_out_jobs_surface_to_the_workload() {
+        struct Failures {
+            failed: Vec<u64>,
+            completed: Vec<u64>,
+        }
+        impl Workload for Failures {
+            fn on_job_end(&mut self, job: &JobReport, _sim: &mut SimControl) {
+                match job.status {
+                    JobStatus::Completed => self.completed.push(job.id),
+                    JobStatus::TimedOut { .. } => self.failed.push(job.id),
+                }
+            }
+        }
+        let policy = TransferPolicy { timeout_us: Some(10_000), retry: RetryPolicy::none() };
+        let initial = vec![
+            JobSpec {
+                id: 0,
+                release_us: 0,
+                stages: vec![Stage::Transfer { label: "up", link: 0, bytes: 1_250_000, policy }],
+            },
+            JobSpec { id: 1, release_us: 0, stages: vec![xfer(0, 12_500)] },
+        ];
+        let mut w = Failures { failed: Vec::new(), completed: Vec::new() };
+        let out = Simulator::new(vec![wifi_fifo()]).run_reactive(&initial, &mut w);
+        assert_eq!(w.failed, vec![0]);
+        assert_eq!(w.completed, vec![1]);
+        assert_eq!(out.timed_out(), 1);
+    }
+
+    #[test]
+    fn reactive_runs_are_deterministic() {
+        struct Reinject;
+        impl Workload for Reinject {
+            fn on_job_end(&mut self, job: &JobReport, sim: &mut SimControl) {
+                if job.status == JobStatus::Completed && job.id < 4 {
+                    sim.submit(JobSpec {
+                        id: 10 + job.id,
+                        release_us: sim.now() + 1_000,
+                        stages: vec![xfer(0, 50_000)],
+                    });
+                }
+            }
+        }
+        let initial: Vec<JobSpec> = (0..4)
+            .map(|i| JobSpec { id: i, release_us: i * 300, stages: vec![xfer(0, 90_000)] })
+            .collect();
+        let sim = Simulator::new(vec![wifi_fifo()]);
+        let a = sim.run_reactive(&initial, &mut Reinject);
+        let b = sim.run_reactive(&initial, &mut Reinject);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.jobs.len(), 8);
+    }
+
+    #[test]
+    fn compute_resource_links_serialize_occupants_exactly() {
+        // Two 30 ms "compute" occupancies on one shard resource: the
+        // second queues behind the first, and the queue/service split is
+        // exact (1 byte == 1 µs, zero latency).
+        let shard = LinkSpec::fifo(LinkProfile::compute_resource("shard"));
+        let jobs: Vec<JobSpec> = (0..2)
+            .map(|i| JobSpec {
+                id: i,
+                release_us: 0,
+                stages: vec![Stage::Transfer {
+                    label: "compute",
+                    link: 0,
+                    bytes: 30_000,
+                    policy: TransferPolicy::default(),
+                }],
+            })
+            .collect();
+        let out = Simulator::new(vec![shard]).run(&jobs);
+        assert_eq!(out.jobs[0].end_us, 30_000);
+        assert_eq!(out.jobs[1].end_us, 60_000, "back-to-back batches queue, never overlap");
+        assert_eq!(out.jobs[1].stages[0].ideal_us, 30_000);
+        assert_eq!(out.jobs[1].stages[0].wait_us(), 30_000);
     }
 
     #[test]

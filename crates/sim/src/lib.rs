@@ -12,7 +12,12 @@
 //! * [`engine`] — a virtual clock and binary-heap event queue driving
 //!   [`JobSpec`]s (ordered compute/transfer stages) to completion.
 //!   Transfers contend on shared links, can time out (even while still
-//!   queued) and retry with exponential backoff.
+//!   queued) and retry with exponential backoff. Beyond the closed
+//!   replay ([`Simulator::run`]), the reactive mode
+//!   ([`Simulator::run_reactive`]) hands every job ending to a
+//!   [`Workload`] at virtual time and lets it inject new jobs and timer
+//!   events mid-run — the hook the serving scheduler and the closed-loop
+//!   training co-simulation are built on.
 //! * [`link`] — [`LinkProfile`]s (wifi/WAN/cellular), the FIFO and
 //!   fair-share (processor sharing) bandwidth [`Discipline`]s, and
 //!   seeded heterogeneous fleet assignment via [`LinkMix`], including
@@ -74,8 +79,8 @@ pub mod report;
 pub mod trace;
 
 pub use engine::{
-    JobReport, JobSpec, JobStatus, RetryPolicy, SimOutcome, Simulator, Stage, StageReport,
-    TransferPolicy,
+    JobReport, JobSpec, JobStatus, RetryPolicy, SimControl, SimOutcome, Simulator, Stage,
+    StageReport, TransferPolicy, Workload,
 };
 pub use link::{mix64, DeviceLink, Discipline, LinkMix, LinkProfile, LinkSpec, StragglerConfig};
 pub use report::{completion_percentile, stage_stats, StageStats};

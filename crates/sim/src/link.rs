@@ -50,6 +50,18 @@ impl LinkProfile {
         Self { name: "cellular", latency_us: 60_000, bytes_per_sec: 5e6 / 8.0 }
     }
 
+    /// A serialized compute resource modeled as a link: zero propagation
+    /// latency and exactly one byte per microsecond, so a FIFO transfer
+    /// of `duration_us` bytes occupies the resource for exactly
+    /// `duration_us` µs — and back-to-back occupants *queue* behind each
+    /// other instead of overlapping, with the queue/service split
+    /// falling out of the ordinary [`crate::StageReport`] accounting.
+    /// This is how the serving tier models a registry shard's fused
+    /// batch compute on the simulation's virtual clock.
+    pub fn compute_resource(name: &'static str) -> Self {
+        Self { name, latency_us: 0, bytes_per_sec: 1e6 }
+    }
+
     /// Uncontended time to move `bytes` across this link, in microseconds
     /// (latency plus serialization) — the empty-link FIFO bound every
     /// discipline is compared against.

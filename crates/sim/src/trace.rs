@@ -110,6 +110,15 @@ pub enum TraceEvent {
         /// Job id.
         job: u64,
     },
+    /// A reactive-mode timer fired (see
+    /// [`crate::engine::SimControl::set_timer`]). Closed replays never
+    /// produce this event, so their fingerprints are unchanged.
+    TimerFired {
+        /// Simulated time (µs).
+        t: u64,
+        /// Caller-chosen timer key.
+        key: u64,
+    },
 }
 
 impl TraceEvent {
@@ -136,6 +145,7 @@ impl TraceEvent {
             TraceEvent::ComputeStarted { t, job, stage } => [6, t, job, stage as u64, 0, 0],
             TraceEvent::ComputeFinished { t, job, stage } => [7, t, job, stage as u64, 0, 0],
             TraceEvent::JobCompleted { t, job } => [8, t, job, 0, 0, 0],
+            TraceEvent::TimerFired { t, key } => [9, t, key, 0, 0, 0],
         }
     }
 

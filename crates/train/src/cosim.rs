@@ -1,0 +1,542 @@
+//! Closed-loop network/compute co-simulation of multi-round fleet
+//! training — the network's outcomes feed back into what gets trained.
+//!
+//! [`crate::simulate_fleet_network`] prices a *finished* pipeline run:
+//! every device's download, train, audit and upload replay on the
+//! virtual clock regardless of what the network did to anyone. That
+//! open-loop view is exactly right for costing one round, and exactly
+//! wrong the moment training spans rounds: a device whose download timed
+//! out never produced a model, so its warm-start round should not exist
+//! — yet the post-hoc replay prices it anyway.
+//!
+//! [`cosimulate_fleet`] runs R training rounds through the reactive
+//! engine ([`pelican_sim::Simulator::run_reactive`]) on one event heap:
+//!
+//! * every device's round is a four-stage sim job (download → train →
+//!   audit → upload), with train/audit durations and upload sizes drawn
+//!   from that round's deterministic [`TrainReport`];
+//! * a device's round `r + 1` is **injected at the virtual instant its
+//!   round `r` ended** — retries and contention reorder those arrivals,
+//!   so publication order is a network outcome, not a list order;
+//! * in [`LoopMode::Closed`], a round that timed out ends the device's
+//!   participation: no publication, and its remaining rounds are simply
+//!   absent from the timeline (and the trace);
+//! * in [`LoopMode::Open`], failures are ignored — the finished run is
+//!   replayed round after round, chained at the same instants — which
+//!   makes the two modes **bit-identical whenever nothing fails** and
+//!   divergent exactly when a timeout fires. The `cosim-report`
+//!   experiment asserts both directions on every run.
+//!
+//! Because every per-round input is bit-identical across trainer-pool
+//! widths (exact per-thread FLOP measurement, per-user seeds), the
+//! closed-loop trace fingerprint is too — co-simulation inherits the
+//! reproduction's width-invariance contract.
+
+use std::collections::HashMap;
+
+use pelican_sim::{
+    DeviceLink, JobReport, JobSpec, JobStatus, LinkSpec, SimControl, SimOutcome, Simulator, Stage,
+    Workload,
+};
+use pelican_tensor::nearest_rank;
+
+use crate::network::NetworkConfig;
+use crate::report::TrainReport;
+
+/// Whether network outcomes feed back into the training timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopMode {
+    /// Post-hoc pricing of a finished run: every device's every round
+    /// replays, chained at whatever instant the previous round ended,
+    /// success or failure.
+    Open,
+    /// Network outcomes feed back: a timed-out round ends the device's
+    /// participation — it never trains that round, publishes nothing,
+    /// and its remaining rounds are absent from the timeline.
+    Closed,
+}
+
+/// One published envelope on the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Publication {
+    /// Virtual publish time (upload completed), µs.
+    pub t_us: u64,
+    /// The publishing user.
+    pub user_id: usize,
+    /// Training round (0-based).
+    pub round: usize,
+}
+
+/// One device-round that actually ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// The device's user.
+    pub user_id: usize,
+    /// Training round (0-based).
+    pub round: usize,
+    /// Whether straggler injection degraded this device's link.
+    pub straggler: bool,
+    /// When the round entered the system (µs) — 0 for round 0, the
+    /// previous round's end otherwise.
+    pub release_us: u64,
+    /// When the round completed or failed (µs).
+    pub end_us: u64,
+    /// Transfer attempts spent (2 = no retries anywhere).
+    pub attempts: u32,
+    /// Whether the round completed (false: retries exhausted).
+    pub completed: bool,
+}
+
+impl RoundRecord {
+    /// Release → publication (or failure), end to end (µs).
+    pub fn span_us(&self) -> u64 {
+        self.end_us - self.release_us
+    }
+}
+
+/// A finished co-simulation.
+#[derive(Debug, Clone)]
+pub struct CosimReport {
+    /// Whether failures fed back.
+    pub mode: LoopMode,
+    /// Rounds requested.
+    pub rounds: usize,
+    /// Devices in the cohort.
+    pub devices: usize,
+    /// Every device-round that ran, in virtual submission order.
+    pub records: Vec<RoundRecord>,
+    /// Publications in virtual-time order — the order a registry would
+    /// assign versions, reshuffled by retries and contention.
+    pub publications: Vec<Publication>,
+    /// The raw simulation (trace + per-job stage reports).
+    pub sim: SimOutcome,
+}
+
+impl CosimReport {
+    /// Determinism fingerprint of the event trace.
+    pub fn fingerprint(&self) -> u64 {
+        self.sim.fingerprint()
+    }
+
+    /// Rounds that failed (a transfer exhausted its attempts).
+    pub fn timed_out(&self) -> usize {
+        self.sim.timed_out()
+    }
+
+    /// Device-rounds that ran (closed loops run fewer after failures).
+    pub fn scheduled(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Device-rounds that never ran because the device dropped out — the
+    /// rounds a post-hoc replay would have priced anyway.
+    pub fn skipped(&self) -> usize {
+        self.devices * self.rounds - self.records.len()
+    }
+
+    /// Completed device-rounds in round `r`.
+    pub fn completed_in_round(&self, round: usize) -> usize {
+        self.records.iter().filter(|r| r.round == round && r.completed).count()
+    }
+
+    /// Nearest-rank percentile of round `round`'s release→publish span
+    /// over completed device-rounds (µs; 0 if none).
+    pub fn round_percentile_us(&self, round: usize, q: f64) -> u64 {
+        let mut spans: Vec<u64> = self
+            .records
+            .iter()
+            .filter(|r| r.round == round && r.completed)
+            .map(RoundRecord::span_us)
+            .collect();
+        spans.sort_unstable();
+        nearest_rank(&spans, q).unwrap_or(0)
+    }
+
+    /// Whether publications arrived in a different order than device
+    /// order within some round — the "retries reorder warm-start
+    /// arrivals" signal.
+    pub fn publications_reordered(&self, device_order: &[usize]) -> bool {
+        let rank: HashMap<usize, usize> =
+            device_order.iter().enumerate().map(|(i, &u)| (u, i)).collect();
+        (0..self.rounds).any(|round| {
+            let ranks: Vec<usize> = self
+                .publications
+                .iter()
+                .filter(|p| p.round == round)
+                .map(|p| rank[&p.user_id])
+                .collect();
+            ranks.windows(2).any(|w| w[0] > w[1])
+        })
+    }
+
+    /// Multi-line human-readable summary.
+    pub fn render(&self) -> String {
+        let ms = |us: u64| us as f64 / 1e3;
+        let mut out = format!(
+            "{:?} loop: {} devices x {} rounds -> {} scheduled, {} skipped, {} timed out; trace {:016x}\n",
+            self.mode,
+            self.devices,
+            self.rounds,
+            self.scheduled(),
+            self.skipped(),
+            self.timed_out(),
+            self.fingerprint(),
+        );
+        for round in 0..self.rounds {
+            out.push_str(&format!(
+                "  round {round}: {} published, span p50 {:.1} ms  p95 {:.1} ms\n",
+                self.completed_in_round(round),
+                ms(self.round_percentile_us(round, 0.50)),
+                ms(self.round_percentile_us(round, 0.95)),
+            ));
+        }
+        out
+    }
+}
+
+/// Round index rides in the job id's high bits so round 0 ids are plain
+/// user ids — which keeps single-round co-simulation traces bit-identical
+/// to the legacy open-loop replay.
+const ROUND_SHIFT: u32 = 48;
+
+fn job_id(round: usize, user_id: usize) -> u64 {
+    ((round as u64) << ROUND_SHIFT) | user_id as u64
+}
+
+/// Runs `rounds.len()` training rounds through the reactive engine.
+///
+/// `rounds[r]` supplies round `r`'s deterministic per-device inputs
+/// (simulated train/audit durations, upload sizes); every report must
+/// cover the same users in the same order. Round 0 releases every device
+/// at t = 0; each later round releases per device when its previous
+/// round ends. See [`LoopMode`] for what failures do.
+///
+/// # Panics
+///
+/// Panics if `rounds` is empty, the reports disagree on the cohort, or a
+/// user id overflows the 48-bit job-id namespace.
+pub fn cosimulate_fleet(
+    rounds: &[&TrainReport],
+    general_bytes: u64,
+    config: &NetworkConfig,
+    mode: LoopMode,
+) -> CosimReport {
+    assert!(!rounds.is_empty(), "co-simulation needs at least one round");
+    for round in &rounds[1..] {
+        assert!(
+            round
+                .outcomes
+                .iter()
+                .map(|o| o.user_id)
+                .eq(rounds[0].outcomes.iter().map(|o| o.user_id)),
+            "every round must cover the same cohort in the same order"
+        );
+    }
+    let devices: Vec<DeviceLink> = rounds[0]
+        .outcomes
+        .iter()
+        .map(|o| config.mix.assign(config.seed, o.user_id as u64))
+        .collect();
+
+    // Link table, exactly as the open-loop replay lays it out: the
+    // shared uplink (if any) is link 0; per-device FIFO links follow.
+    let mut links: Vec<LinkSpec> = Vec::with_capacity(devices.len() + 1);
+    let shared_uplink = match config.uplink {
+        crate::network::UplinkMode::Shared { profile, discipline } => {
+            links.push(LinkSpec { profile, discipline });
+            true
+        }
+        crate::network::UplinkMode::PerDevice => false,
+    };
+    let device_link_base = links.len();
+    links.extend(devices.iter().map(|d| LinkSpec::fifo(d.profile)));
+
+    let mut flow = CosimFlow {
+        rounds,
+        general_bytes,
+        config,
+        mode,
+        devices: &devices,
+        device_of: rounds[0]
+            .outcomes
+            .iter()
+            .enumerate()
+            .map(|(i, o)| {
+                assert!((o.user_id as u64) < 1 << ROUND_SHIFT, "user id overflows job-id space");
+                (o.user_id, i)
+            })
+            .collect(),
+        shared_uplink,
+        device_link_base,
+        records: Vec::new(),
+        publications: Vec::new(),
+    };
+    let initial: Vec<JobSpec> =
+        (0..devices.len()).map(|device| flow.spec_for(device, 0, 0)).collect();
+    let sim = Simulator::new(links).run_reactive(&initial, &mut flow);
+    CosimReport {
+        mode,
+        rounds: rounds.len(),
+        devices: devices.len(),
+        records: flow.records,
+        publications: flow.publications,
+        sim,
+    }
+}
+
+/// The training loop as a reactive workload.
+struct CosimFlow<'a> {
+    rounds: &'a [&'a TrainReport],
+    general_bytes: u64,
+    config: &'a NetworkConfig,
+    mode: LoopMode,
+    devices: &'a [DeviceLink],
+    device_of: HashMap<usize, usize>,
+    shared_uplink: bool,
+    device_link_base: usize,
+    records: Vec<RoundRecord>,
+    publications: Vec<Publication>,
+}
+
+impl CosimFlow<'_> {
+    /// The four-stage job of `device`'s round `round`, released at
+    /// `release_us`: download the general envelope over the device's own
+    /// link, train and audit for the round's exact simulated durations,
+    /// upload the published envelope over the (possibly shared) uplink.
+    fn spec_for(&self, device: usize, round: usize, release_us: u64) -> JobSpec {
+        let outcome = &self.rounds[round].outcomes[device];
+        let device_link = self.device_link_base + device;
+        let uplink = if self.shared_uplink { 0 } else { device_link };
+        JobSpec {
+            id: job_id(round, outcome.user_id),
+            release_us,
+            stages: vec![
+                Stage::Transfer {
+                    label: "download",
+                    link: device_link,
+                    bytes: self.general_bytes,
+                    policy: self.config.download,
+                },
+                Stage::Compute {
+                    label: "train",
+                    duration_us: outcome.train_simulated.as_micros() as u64,
+                },
+                Stage::Compute {
+                    label: "audit",
+                    duration_us: outcome.audit_simulated.as_micros() as u64,
+                },
+                Stage::Transfer {
+                    label: "upload",
+                    link: uplink,
+                    bytes: outcome.envelope_bytes as u64,
+                    policy: self.config.upload,
+                },
+            ],
+        }
+    }
+}
+
+impl Workload for CosimFlow<'_> {
+    fn on_job_end(&mut self, job: &JobReport, sim: &mut SimControl) {
+        let round = (job.id >> ROUND_SHIFT) as usize;
+        let user_id = (job.id & ((1 << ROUND_SHIFT) - 1)) as usize;
+        let device = self.device_of[&user_id];
+        let completed = job.status == JobStatus::Completed;
+        // Transfer stages only: compute stages always report one attempt
+        // and would inflate the retry accounting.
+        let attempts = ["download", "upload"]
+            .iter()
+            .filter_map(|label| job.stage(label))
+            .map(|s| s.attempts)
+            .sum();
+        self.records.push(RoundRecord {
+            user_id,
+            round,
+            straggler: self.devices[device].straggler,
+            release_us: job.release_us,
+            end_us: job.end_us,
+            attempts,
+            completed,
+        });
+        if completed {
+            self.publications.push(Publication { t_us: job.end_us, user_id, round });
+        }
+        // Closed loop: a failed round ends the device's participation —
+        // its later rounds never enter the timeline. Open loop replays
+        // the finished run regardless.
+        let proceed = match self.mode {
+            LoopMode::Open => true,
+            LoopMode::Closed => completed,
+        };
+        if proceed && round + 1 < self.rounds.len() {
+            sim.submit(self.spec_for(device, round + 1, job.end_us));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::{GateOutcome, GateVerdict};
+    use crate::network::UplinkMode;
+    use crate::report::JobOutcome;
+    use pelican::DefenseKind;
+    use pelican_nn::FitReport;
+    use pelican_sim::{
+        Discipline, LinkMix, LinkProfile, RetryPolicy, StragglerConfig, TransferPolicy,
+    };
+    use std::time::Duration;
+
+    /// A synthetic round: deterministic per-device durations and upload
+    /// sizes without paying for real training.
+    fn synthetic_round(n: usize, salt: u64) -> TrainReport {
+        let outcomes: Vec<JobOutcome> = (0..n)
+            .map(|i| JobOutcome {
+                user_id: 100 + i,
+                version: i as u64 + 1,
+                warm: salt > 0,
+                gate: GateOutcome {
+                    verdict: GateVerdict::Passed,
+                    defense: DefenseKind::None,
+                    rungs_climbed: 0,
+                    initial_leakage: 0.1,
+                    final_leakage: 0.1,
+                    audits: 1,
+                    queries: 10,
+                    cached: 0,
+                },
+                fit: FitReport { epoch_losses: vec![0.5], steps: 4, samples_per_epoch: 4 },
+                enroll_latency: Duration::from_millis(5),
+                train_simulated: Duration::from_millis(4 + (i as u64 + salt) % 3),
+                audit_simulated: Duration::from_millis(2),
+                envelope_bytes: 60_000 + 1_000 * salt as usize,
+            })
+            .collect();
+        TrainReport::new(2, outcomes, Duration::from_millis(40), 1_000)
+    }
+
+    fn straggling(fraction: f64, slowdown: f64) -> NetworkConfig {
+        NetworkConfig {
+            mix: LinkMix::all_wifi().with_stragglers(StragglerConfig { fraction, slowdown }),
+            download: TransferPolicy { timeout_us: Some(40_000), retry: RetryPolicy::none() },
+            seed: 3,
+            ..NetworkConfig::default()
+        }
+    }
+
+    #[test]
+    fn open_and_closed_loops_are_bit_identical_without_failures() {
+        let fresh = synthetic_round(6, 0);
+        let warm = synthetic_round(6, 1);
+        let rounds = [&fresh, &warm];
+        let config = NetworkConfig::default();
+        let open = cosimulate_fleet(&rounds, 80_000, &config, LoopMode::Open);
+        let closed = cosimulate_fleet(&rounds, 80_000, &config, LoopMode::Closed);
+        assert_eq!(open.timed_out(), 0);
+        assert_eq!(open.sim.trace, closed.sim.trace, "no failures ⇒ nothing to feed back");
+        assert_eq!(open.fingerprint(), closed.fingerprint());
+        assert_eq!(open.records, closed.records);
+        assert_eq!(open.publications, closed.publications);
+        assert_eq!(closed.scheduled(), 12);
+        assert_eq!(closed.skipped(), 0);
+    }
+
+    #[test]
+    fn closed_loop_drops_a_timed_out_devices_remaining_rounds() {
+        let fresh = synthetic_round(12, 0);
+        let warm = synthetic_round(12, 1);
+        let rounds = [&fresh, &warm];
+        // 40 ms downloads are hopeless at a 50x slowdown, fine on wifi.
+        let config = straggling(0.25, 50.0);
+        let open = cosimulate_fleet(&rounds, 80_000, &config, LoopMode::Open);
+        let closed = cosimulate_fleet(&rounds, 80_000, &config, LoopMode::Closed);
+        assert!(closed.timed_out() > 0, "stragglers must fail their downloads");
+        assert_ne!(open.fingerprint(), closed.fingerprint(), "failures must diverge the loops");
+        assert!(closed.skipped() > 0);
+        assert_eq!(open.skipped(), 0, "the open loop prices every round regardless");
+        // The failed device's warm round exists only in the open loop.
+        let failed_round0: Vec<usize> = closed
+            .records
+            .iter()
+            .filter(|r| r.round == 0 && !r.completed)
+            .map(|r| r.user_id)
+            .collect();
+        assert!(!failed_round0.is_empty());
+        for user in failed_round0 {
+            assert!(
+                !closed.records.iter().any(|r| r.user_id == user && r.round == 1),
+                "closed loop: user {user}'s round 1 must be absent"
+            );
+            assert!(
+                open.records.iter().any(|r| r.user_id == user && r.round == 1),
+                "open loop: user {user}'s round 1 must still be priced"
+            );
+        }
+        // Traces agree on that absence too, via the round-tagged job ids.
+        let closed_round1_jobs =
+            closed.sim.jobs.iter().filter(|j| j.id >> ROUND_SHIFT == 1).count();
+        assert_eq!(closed_round1_jobs, 12 - closed.timed_out_round0());
+    }
+
+    #[test]
+    fn retries_reorder_warm_start_arrivals() {
+        let fresh = synthetic_round(10, 0);
+        let warm = synthetic_round(10, 1);
+        let rounds = [&fresh, &warm];
+        // Ten uploads collide on one shared FIFO uplink with a timeout
+        // tight enough that queued attempts expire and retry with
+        // backoff. The contention is transient, so every retry
+        // eventually lands — but the backoff lottery decides who
+        // publishes (and therefore warm-starts) first.
+        let config = NetworkConfig {
+            mix: LinkMix::all_wifi()
+                .with_stragglers(StragglerConfig { fraction: 0.3, slowdown: 2.0 }),
+            uplink: UplinkMode::Shared {
+                profile: LinkProfile::wifi(),
+                discipline: Discipline::Fifo,
+            },
+            upload: TransferPolicy {
+                timeout_us: Some(30_000),
+                retry: RetryPolicy::exponential(12, 10_000, 1.5),
+            },
+            seed: 3,
+            ..NetworkConfig::default()
+        };
+        let closed = cosimulate_fleet(&rounds, 80_000, &config, LoopMode::Closed);
+        assert_eq!(closed.timed_out(), 0, "transient contention ⇒ retries eventually succeed");
+        let retries: u32 =
+            closed.records.iter().map(|r| r.attempts).sum::<u32>() - 2 * closed.scheduled() as u32;
+        assert!(retries > 0, "queued uploads must have timed out and retried");
+        let device_order: Vec<usize> = fresh.outcomes.iter().map(|o| o.user_id).collect();
+        assert!(
+            closed.publications_reordered(&device_order),
+            "retries must reorder publication order"
+        );
+        assert_eq!(closed.publications.len(), 20);
+        // Publications are in virtual-time order.
+        for w in closed.publications.windows(2) {
+            assert!(w[0].t_us <= w[1].t_us);
+        }
+    }
+
+    #[test]
+    fn cosimulation_is_deterministic() {
+        let fresh = synthetic_round(8, 0);
+        let warm = synthetic_round(8, 1);
+        let rounds = [&fresh, &warm];
+        let config = straggling(0.25, 50.0);
+        let a = cosimulate_fleet(&rounds, 80_000, &config, LoopMode::Closed);
+        let b = cosimulate_fleet(&rounds, 80_000, &config, LoopMode::Closed);
+        assert_eq!(a.sim.trace, b.sim.trace);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.records, b.records);
+        assert!(!a.render().is_empty());
+    }
+
+    impl CosimReport {
+        /// Round-0 failures (test helper).
+        fn timed_out_round0(&self) -> usize {
+            self.records.iter().filter(|r| r.round == 0 && !r.completed).count()
+        }
+    }
+}

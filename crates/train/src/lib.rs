@@ -32,6 +32,12 @@
 //!   discrete-event simulator: downloads overlap training across the
 //!   fleet, uploads queue on a shared uplink, stragglers straggle, and
 //!   the whole timeline is bit-identical across pool widths.
+//! * [`cosim`] — closes the loop over multiple training rounds: network
+//!   outcomes feed back (a timed-out download means the device never
+//!   trains that round, retries reorder warm-start arrivals, audit
+//!   compute and publication uploads share the same virtual clock),
+//!   with open-loop replay and closed-loop co-simulation bit-identical
+//!   exactly when nothing fails.
 //!
 //! # Example
 //!
@@ -68,6 +74,7 @@
 //! ```
 
 pub mod audit;
+pub mod cosim;
 pub mod job;
 pub mod network;
 pub mod pipeline;
@@ -75,6 +82,7 @@ pub mod pool;
 pub mod report;
 
 pub use audit::{AuditConfig, AuditGate, AuditSubject, GateOutcome, GateVerdict};
+pub use cosim::{cosimulate_fleet, CosimReport, LoopMode, Publication, RoundRecord};
 pub use job::{cohort_jobs, JobKind, TrainJob};
 pub use network::{
     simulate_fleet_network, NetComponent, NetEnroll, NetTrainReport, NetworkConfig, UplinkMode,

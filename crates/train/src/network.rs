@@ -18,11 +18,12 @@
 //! [`NetTrainReport::fingerprint`] makes cheap to assert.
 
 use pelican_sim::{
-    stage_stats, DeviceLink, Discipline, JobSpec, JobStatus, LinkMix, LinkProfile, LinkSpec,
-    SimOutcome, Simulator, Stage, TransferPolicy,
+    stage_stats, DeviceLink, Discipline, JobStatus, LinkMix, LinkProfile, SimOutcome,
+    TransferPolicy,
 };
 use pelican_tensor::nearest_rank;
 
+use crate::cosim::{cosimulate_fleet, LoopMode};
 use crate::report::TrainReport;
 
 /// Where publication uploads go.
@@ -237,6 +238,10 @@ impl NetComponent {
 /// t = 0 — device-side work is inherently fleet-parallel; the trainer
 /// pool's width is a host-compute knob that must not (and does not)
 /// change the simulated timeline.
+///
+/// This is the single-round open-loop view, implemented as
+/// [`cosimulate_fleet`] with one round — multi-round studies with
+/// failure feedback live there.
 pub fn simulate_fleet_network(
     report: &TrainReport,
     general_bytes: u64,
@@ -244,58 +249,8 @@ pub fn simulate_fleet_network(
 ) -> NetTrainReport {
     let devices: Vec<DeviceLink> =
         report.outcomes.iter().map(|o| config.mix.assign(config.seed, o.user_id as u64)).collect();
-
-    // Link table: the shared uplink (if any) is link 0; device links
-    // follow, one per cohort member, FIFO (a device does one transfer at
-    // a time anyway).
-    let mut links: Vec<LinkSpec> = Vec::with_capacity(devices.len() + 1);
-    let shared_uplink = match config.uplink {
-        UplinkMode::Shared { profile, discipline } => {
-            links.push(LinkSpec { profile, discipline });
-            true
-        }
-        UplinkMode::PerDevice => false,
-    };
-    let device_link_base = links.len();
-    links.extend(devices.iter().map(|d| LinkSpec::fifo(d.profile)));
-
-    let specs: Vec<JobSpec> = report
-        .outcomes
-        .iter()
-        .enumerate()
-        .map(|(i, outcome)| {
-            let device_link = device_link_base + i;
-            let uplink = if shared_uplink { 0 } else { device_link };
-            JobSpec {
-                id: outcome.user_id as u64,
-                release_us: 0,
-                stages: vec![
-                    Stage::Transfer {
-                        label: "download",
-                        link: device_link,
-                        bytes: general_bytes,
-                        policy: config.download,
-                    },
-                    Stage::Compute {
-                        label: "train",
-                        duration_us: outcome.train_simulated.as_micros() as u64,
-                    },
-                    Stage::Compute {
-                        label: "audit",
-                        duration_us: outcome.audit_simulated.as_micros() as u64,
-                    },
-                    Stage::Transfer {
-                        label: "upload",
-                        link: uplink,
-                        bytes: outcome.envelope_bytes as u64,
-                        policy: config.upload,
-                    },
-                ],
-            }
-        })
-        .collect();
-
-    let sim = Simulator::new(links).run(&specs);
+    // One round, so open vs. closed is moot; jobs land in device order.
+    let sim = cosimulate_fleet(&[report], general_bytes, config, LoopMode::Open).sim;
     let enrolls = sim
         .jobs
         .iter()
