@@ -12,7 +12,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use pelican_sim::{
-    Discipline, JobSpec, LinkMix, LinkSpec, Simulator, Stage, StragglerConfig, TransferPolicy,
+    Discipline, JobSpec, LinkMix, LinkSpec, Passive, Simulator, Stage, StragglerConfig,
+    TransferPolicy,
 };
 
 /// A download → train → upload fleet over `devices` devices. Uploads all
@@ -45,24 +46,26 @@ fn fleet(devices: usize, shared_uplink: bool) -> (Simulator, Vec<JobSpec>) {
             ],
         })
         .collect();
-    (Simulator::new(links), specs)
+    (Simulator::builder().links(links).build(), specs)
 }
 
 fn bench_network_contention(c: &mut Criterion) {
     // Determinism gate: the engine must replay bit-identically before we
     // bother timing it.
     let (sim, specs) = fleet(64, true);
-    assert_eq!(sim.run(&specs).trace, sim.run(&specs).trace);
+    assert_eq!(sim.run(&specs, &mut Passive).trace, sim.run(&specs, &mut Passive).trace);
 
     let mut group = c.benchmark_group("network_contention");
     for devices in [64usize, 256] {
         let (shared, shared_specs) = fleet(devices, true);
         group.bench_function(format!("shared-uplink/{devices}"), |b| {
-            b.iter(|| std::hint::black_box(shared.run(&shared_specs).jobs.len()))
+            b.iter(|| std::hint::black_box(shared.run(&shared_specs, &mut Passive).job_count()))
         });
         let (dedicated, dedicated_specs) = fleet(devices, false);
         group.bench_function(format!("per-device/{devices}"), |b| {
-            b.iter(|| std::hint::black_box(dedicated.run(&dedicated_specs).jobs.len()))
+            b.iter(|| {
+                std::hint::black_box(dedicated.run(&dedicated_specs, &mut Passive).job_count())
+            })
         });
     }
     // Discipline comparison at fixed size: fair-share pays extra
@@ -80,10 +83,11 @@ fn bench_network_contention(c: &mut Criterion) {
                 }],
             })
             .collect();
-        let sim =
-            Simulator::new(vec![LinkSpec { profile: pelican_sim::LinkProfile::wan(), discipline }]);
+        let sim = Simulator::builder()
+            .link(LinkSpec { profile: pelican_sim::LinkProfile::wan(), discipline })
+            .build();
         group.bench_function(format!("{discipline:?}/128-uploads"), |b| {
-            b.iter(|| std::hint::black_box(sim.run(&flat).timed_out()))
+            b.iter(|| std::hint::black_box(sim.run(&flat, &mut Passive).timed_out()))
         });
     }
     group.finish();

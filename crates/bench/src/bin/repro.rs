@@ -1,52 +1,44 @@
 //! `repro` — regenerates every table and figure of the Pelican paper.
 //!
 //! ```text
-//! repro <experiment> [--scale tiny|small|paper] [--seed N] [--users N] [--instances N]
+//! repro <experiment> [--scale tiny|small|paper] [--seed N] [--users N]
+//!       [--instances N] [--devices N]
+//! repro --list
 //! ```
 //!
-//! Experiments: `table2`, `table3`, `table4`, `fig2a`, `fig2b`, `fig2c`,
-//! `fig3a`, `fig3b`, `fig3c`, `fig5a`, `fig5b`, `fig5c`, `overhead`, `all`.
+//! Experiments live in the [`pelican_bench::experiments`] registry; this
+//! binary only parses flags, resolves the name and runs it. `all` runs
+//! the paper figures/tables in paper order.
 
 use std::process::ExitCode;
 
-use pelican_bench::experiments::{
-    ablation, adversaries, attack_methods, cosim, defense, network, personalization, serving,
-    spatial, training,
-};
-use pelican_bench::{parse_args, RunConfig};
+use pelican_bench::experiments::{self, PAPER_SET};
+use pelican_bench::parse_args;
 
-const USAGE: &str =
-    "usage: repro <experiment> [--scale tiny|small|paper] [--seed N] [--users N] [--instances N]
-experiments:
-  fig2a     attack accuracy by method (brute force / gradient descent / time-based)
-  table2    attack cost by method (queries + runtime)
-  fig2b     attack accuracy by adversary (A1/A2/A3)
-  fig2c     attack accuracy by prior (true/none/predict/estimate)
-  fig3a     attack accuracy by spatial level (building vs AP)
-  fig3b     degree of mobility vs attack accuracy (+ correlation)
-  fig3c     mobility predictability vs attack accuracy (+ correlation)
-  table3    personalization accuracy (Reuse/LSTM/TL FE/TL FT, both levels)
-  table4    personalization accuracy vs training-data size (2/4/6/8 weeks)
-  overhead  cloud training vs device personalization compute
-  fig5a     defense: leakage reduction by personalization method
-  fig5b     defense: leakage reduction vs privacy temperature
-  fig5c     defense: leakage reduction by spatial level
-  serve-report      fleet serving: throughput, batching, cache and latency per tier
-  train-report      fleet training: parallel personalization, audit gate, enroll latency
-  net-report        fleet network: link-mix x retry sweep, uplink contention, cloud RTT
-  cosim-report      closed-loop co-simulation: open vs closed loops, width invariance, sim scheduler
-  ablate-defenses   compare temperature vs output-noise vs rounding defenses
-  ablate-interest   locations-of-interest threshold sweep
-  ablate-gd         gradient-descent attack hyperparameter sweep
-  ablate-freeze     fine-tuning freeze-depth sweep
-  all       run everything above in order (paper figures only)";
+const USAGE: &str = "usage: repro <experiment> [--scale tiny|small|paper] [--seed N] [--users N] \
+                     [--instances N] [--devices N]
+       repro --list    (every experiment with its description)
+       repro all       (paper figures/tables in paper order)";
+
+fn list() -> String {
+    let mut out = String::from("experiments:\n");
+    for exp in experiments::experiments() {
+        out.push_str(&format!("  {:<17} {}\n", exp.name(), exp.description()));
+    }
+    out.push_str("  all               run the paper figures/tables in order");
+    out
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((experiment, rest)) = args.split_first() else {
-        eprintln!("{USAGE}");
+        eprintln!("{USAGE}\n\n{}", list());
         return ExitCode::FAILURE;
     };
+    if experiment == "--list" || experiment == "list" {
+        println!("{}", list());
+        return ExitCode::SUCCESS;
+    }
     let config = match parse_args(rest) {
         Ok(c) => c,
         Err(msg) => {
@@ -55,157 +47,19 @@ fn main() -> ExitCode {
         }
     };
     let started = std::time::Instant::now();
-    let ok = run_experiment(experiment, &config);
-    if ok {
-        eprintln!("\n[done in {:.1?}]", started.elapsed());
-        ExitCode::SUCCESS
+    if experiment == "all" {
+        for name in PAPER_SET {
+            experiments::find(name).expect("paper-set names are registered").run(&config);
+        }
     } else {
-        eprintln!("unknown experiment '{experiment}'\n\n{USAGE}");
-        ExitCode::FAILURE
+        match experiments::find(experiment) {
+            Some(exp) => exp.run(&config),
+            None => {
+                eprintln!("unknown experiment '{experiment}'\n\n{USAGE}\n\n{}", list());
+                return ExitCode::FAILURE;
+            }
+        }
     }
-}
-
-fn banner(title: &str, config: &RunConfig) {
-    println!();
-    println!("=== {title} (scale={}, seed={}) ===", config.scale, config.seed);
-}
-
-fn run_experiment(name: &str, config: &RunConfig) -> bool {
-    match name {
-        "fig2a" => {
-            banner("Fig. 2a — attack accuracy by method (%)", config);
-            let result = attack_methods::run(config);
-            println!("{}", attack_methods::fig2a_table(&result).render());
-        }
-        "table2" => {
-            banner("Table II — attack cost by method", config);
-            let result = attack_methods::run(config);
-            println!("{}", attack_methods::table2(&result).render());
-            println!("(paper: brute force 82.18 h, gradient descent 6.27 h, time-based 0.68 h for 100 users)");
-        }
-        "fig2b" => {
-            banner("Fig. 2b — attack accuracy by adversary (%)", config);
-            println!("{}", adversaries::fig2b(config).render());
-        }
-        "fig2c" => {
-            banner("Fig. 2c — attack accuracy by prior (%)", config);
-            println!("{}", adversaries::fig2c(config).render());
-        }
-        "fig3a" => {
-            banner("Fig. 3a — attack accuracy by spatial level (%)", config);
-            println!("{}", spatial::fig3a(config).render());
-        }
-        "fig3b" => {
-            banner("Fig. 3b — degree of mobility vs attack accuracy", config);
-            for reg in spatial::fig3b(config) {
-                let (table, summary) = spatial::regression_table(&reg);
-                println!("{}", table.render());
-                println!("{summary}");
-                println!("(paper: r = 0.337 building, r = 0.107 AP — weak effect)\n");
-            }
-        }
-        "fig3c" => {
-            banner("Fig. 3c — mobility predictability vs attack accuracy", config);
-            for reg in spatial::fig3c(config) {
-                let (table, summary) = spatial::regression_table(&reg);
-                println!("{}", table.render());
-                println!("{summary}");
-                println!("(paper: r = 0.804 building — strong; r = 0.078 AP — weak)\n");
-            }
-        }
-        "table3" => {
-            banner("Table III — personalization train/test accuracy (%)", config);
-            println!("{}", personalization::table3(config).render());
-        }
-        "table4" => {
-            banner("Table IV — accuracy vs training-data size (%)", config);
-            println!("{}", personalization::table4(config).render());
-        }
-        "overhead" => {
-            banner("§V-C2 — cloud vs device compute overhead", config);
-            println!("{}", personalization::overhead(config).render());
-            println!("(paper: ~43,000e9 cycles / 4.55 h cloud vs ~15e9 cycles / ~6.6 s device)");
-        }
-        "fig5a" => {
-            banner("Fig. 5a — leakage reduction by personalization method (%)", config);
-            println!("{}", defense::fig5a(config).render());
-        }
-        "fig5b" => {
-            banner("Fig. 5b — leakage reduction vs privacy temperature", config);
-            println!("{}", defense::fig5b(config).render());
-        }
-        "fig5c" => {
-            banner("Fig. 5c — leakage reduction by spatial level (%)", config);
-            println!("{}", defense::fig5c(config).render());
-        }
-        "serve-report" => {
-            banner("Fleet serving — batched registry throughput & latency", config);
-            let outcomes = serving::run(config);
-            println!("{}", serving::table(&outcomes).render());
-            println!("batch-size histogram (identical across tiers):");
-            println!("{}", serving::histogram_table(&outcomes).render());
-        }
-        "train-report" => {
-            banner("Fleet training — parallel personalization & privacy audit", config);
-            let outcomes = training::run(config);
-            println!("{}", training::table(&outcomes).render());
-            println!("(published weights and audit verdicts verified bit-identical across widths;");
-            println!(" speedup is host wall clock, so it reflects this machine's core count)");
-        }
-        "net-report" => {
-            banner("Fleet network — simulated device↔cloud contention", config);
-            let run = network::run(config);
-            println!(
-                "general envelope {} kB; determinism and contention contracts verified",
-                run.general_bytes / 1024,
-            );
-            println!("\nlink-mix × retry-policy sweep (enroll latency, simulated):");
-            println!("{}", network::table(&run).render());
-            println!("shared-uplink contention vs. per-device baseline:");
-            println!("{}", network::contention_table(&run).render());
-            println!("cloud-deployed serving round trips:");
-            println!("{}", network::cloud_table(config).render());
-        }
-        "cosim-report" => {
-            banner("Closed-loop co-simulation — one virtual clock for the fleet", config);
-            let run = cosim::run(config);
-            println!(
-                "general envelope {} kB; agreement, divergence, width-invariance and \
-                 scheduler-fidelity contracts verified",
-                run.general_bytes / 1024,
-            );
-            println!("\nopen-loop replay vs. closed-loop co-simulation (two training rounds):");
-            println!("{}", cosim::table(&run).render());
-            println!("closed-loop trace fingerprint by trainer-pool width:");
-            println!("{}", cosim::width_table(&run).render());
-            println!("sim-driven batch scheduler vs. network jitter:");
-            println!("{}", cosim::serve_table(&run).render());
-        }
-        "ablate-defenses" => {
-            banner("Ablation — defense comparison (Table V alternatives)", config);
-            println!("{}", ablation::defense_compare(config).render());
-        }
-        "ablate-interest" => {
-            banner("Ablation — locations-of-interest threshold", config);
-            println!("{}", ablation::interest_threshold(config).render());
-        }
-        "ablate-gd" => {
-            banner("Ablation — gradient-descent attack configuration", config);
-            println!("{}", ablation::gd_config(config).render());
-        }
-        "ablate-freeze" => {
-            banner("Ablation — fine-tuning freeze depth", config);
-            println!("{}", ablation::freeze_depth(config).render());
-        }
-        "all" => {
-            for exp in [
-                "fig2a", "table2", "fig2b", "fig2c", "fig3a", "fig3b", "fig3c", "table3", "table4",
-                "overhead", "fig5a", "fig5b", "fig5c",
-            ] {
-                run_experiment(exp, config);
-            }
-        }
-        _ => return false,
-    }
-    true
+    eprintln!("\n[done in {:.1?}]", started.elapsed());
+    ExitCode::SUCCESS
 }

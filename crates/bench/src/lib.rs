@@ -30,11 +30,14 @@ pub struct RunConfig {
     pub users: Option<usize>,
     /// Attack instances sampled per user.
     pub instances_per_user: usize,
+    /// Device population override for fleet-scale experiments
+    /// (None = the experiment's default population ladder).
+    pub devices: Option<usize>,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        Self { scale: Scale::Small, seed: 42, users: None, instances_per_user: 8 }
+        Self { scale: Scale::Small, seed: 42, users: None, instances_per_user: 8, devices: None }
     }
 }
 
@@ -85,9 +88,17 @@ pub fn parse_args(args: &[String]) -> Result<RunConfig, String> {
                 config.instances_per_user =
                     v.parse().map_err(|_| format!("bad instance count '{v}'"))?;
             }
+            "--devices" => {
+                let v = take("--devices")?;
+                let n: usize = v.parse().map_err(|_| format!("bad device count '{v}'"))?;
+                if n == 0 {
+                    return Err("--devices must be positive".to_string());
+                }
+                config.devices = Some(n);
+            }
             other => {
                 return Err(format!(
-                    "unknown flag '{other}' (valid: --scale --seed --users --instances)"
+                    "unknown flag '{other}' (valid: --scale --seed --users --instances --devices)"
                 ))
             }
         }
@@ -126,5 +137,13 @@ mod tests {
         assert!(parse_args(&s(&["--bogus"])).is_err());
         assert!(parse_args(&s(&["--scale", "huge"])).is_err());
         assert!(parse_args(&s(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn parse_devices() {
+        let c = parse_args(&s(&["--devices", "10000"])).unwrap();
+        assert_eq!(c.devices, Some(10_000));
+        assert!(parse_args(&s(&["--devices", "0"])).is_err());
+        assert!(parse_args(&s(&["--devices", "lots"])).is_err());
     }
 }

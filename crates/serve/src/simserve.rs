@@ -5,7 +5,7 @@
 //! its own idealized clock: buffers seal at recorded timestamps, fused
 //! compute is priced after the fact and batches implicitly overlap. This
 //! module closes the loop instead. [`simulate_serving`] runs the whole
-//! serving tier inside one [`pelican_sim::Simulator::run_reactive`] pass:
+//! serving tier inside one reactive [`pelican_sim::Simulator::run`] pass:
 //!
 //! * every query **arrival** is a sim job — a transfer over the client's
 //!   own (seeded, heterogeneous) uplink when a [`CloudNetwork`] is
@@ -218,7 +218,7 @@ pub fn simulate_serving(
         dropped: 0,
         error: None,
     };
-    let sim = Simulator::new(links).run_reactive(&initial, &mut flow);
+    let sim = Simulator::builder().links(links).build().run(&initial, &mut flow);
     if let Some(e) = flow.error {
         return Err(e);
     }
@@ -338,7 +338,7 @@ impl ServeFlow<'_> {
     /// split and send every response down the egress (or finish the
     /// requests in place when serving without a network).
     fn batch_done(&mut self, index: usize, job: &JobReport, sim: &mut SimControl) {
-        let stage = job.stage("compute").expect("batch jobs have exactly one compute stage");
+        let stage = job.stages.first().expect("batch jobs have exactly one compute stage");
         for c in &mut self.completions[index] {
             c.queue_us = stage.wait_us();
         }

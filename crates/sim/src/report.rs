@@ -7,7 +7,7 @@
 
 use pelican_tensor::nearest_rank;
 
-use crate::engine::{JobReport, SimOutcome};
+use crate::engine::SimOutcome;
 
 /// Percentile summary of one stage label across completed jobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,7 +30,8 @@ pub struct StageStats {
 
 /// Summarizes `label` stages over the completed jobs of an outcome.
 pub fn stage_stats(outcome: &SimOutcome, label: &'static str) -> StageStats {
-    let stages: Vec<_> = outcome.completed().filter_map(|j| j.stage(label)).collect();
+    let stages: Vec<_> =
+        outcome.completed().filter_map(|j| j.stages().iter().find(|s| s.label == label)).collect();
     let mut waits: Vec<u64> = stages.iter().map(|s| s.wait_us()).collect();
     let mut spans: Vec<u64> = stages.iter().map(|s| s.span_us()).collect();
     waits.sort_unstable();
@@ -49,7 +50,7 @@ pub fn stage_stats(outcome: &SimOutcome, label: &'static str) -> StageStats {
 /// Nearest-rank percentile of end-to-end job spans (release → done) over
 /// completed jobs; 0 if none completed.
 pub fn completion_percentile(outcome: &SimOutcome, q: f64) -> u64 {
-    let mut totals: Vec<u64> = outcome.completed().map(JobReport::total_us).collect();
+    let mut totals: Vec<u64> = outcome.completed().map(|j| j.total_us()).collect();
     totals.sort_unstable();
     nearest_rank(&totals, q).unwrap_or(0)
 }
@@ -57,7 +58,7 @@ pub fn completion_percentile(outcome: &SimOutcome, q: f64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{JobSpec, Simulator, Stage, TransferPolicy};
+    use crate::engine::{JobSpec, Passive, Simulator, Stage, TransferPolicy};
     use crate::link::{LinkProfile, LinkSpec};
 
     fn outcome() -> SimOutcome {
@@ -76,7 +77,10 @@ mod tests {
                 ],
             })
             .collect();
-        Simulator::new(vec![LinkSpec::fifo(LinkProfile::wifi())]).run(&jobs)
+        Simulator::builder()
+            .links(vec![LinkSpec::fifo(LinkProfile::wifi())])
+            .build()
+            .run(&jobs, &mut Passive)
     }
 
     #[test]
@@ -99,7 +103,7 @@ mod tests {
         let out = outcome();
         assert_eq!(completion_percentile(&out, 0.95), 72_000 + 10_000);
         assert!(completion_percentile(&out, 0.50) < completion_percentile(&out, 0.95));
-        let empty = Simulator::new(vec![]).run(&[]);
+        let empty = Simulator::builder().build().run(&[], &mut Passive);
         assert_eq!(completion_percentile(&empty, 0.95), 0);
         assert_eq!(stage_stats(&empty, "upload").jobs, 0);
     }

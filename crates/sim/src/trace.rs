@@ -155,19 +155,26 @@ impl TraceEvent {
     }
 }
 
-/// FNV-1a over the packed trace: equal fingerprints ⇔ (with overwhelming
-/// probability) bit-identical traces. Cheap enough to assert on every run.
-pub fn fingerprint(trace: &[TraceEvent]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for event in trace {
-        for word in event.words() {
-            for byte in word.to_le_bytes() {
-                h ^= byte as u64;
-                h = h.wrapping_mul(0x100_0000_01b3);
-            }
+/// FNV-1a offset basis — the fingerprint of an empty trace.
+pub(crate) const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one event into a running FNV-1a hash. The engine streams every
+/// transition through this, so fingerprints are available even when the
+/// trace itself is not retained ([`crate::TraceLevel::Fingerprint`]).
+pub(crate) fn extend(mut h: u64, event: &TraceEvent) -> u64 {
+    for word in event.words() {
+        for byte in word.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
         }
     }
     h
+}
+
+/// FNV-1a over the packed trace: equal fingerprints ⇔ (with overwhelming
+/// probability) bit-identical traces. Cheap enough to assert on every run.
+pub fn fingerprint(trace: &[TraceEvent]) -> u64 {
+    trace.iter().fold(FNV_BASIS, extend)
 }
 
 #[cfg(test)]

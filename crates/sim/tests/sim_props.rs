@@ -16,8 +16,8 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 
 use pelican_sim::{
-    Discipline, JobSpec, JobStatus, LinkMix, LinkSpec, RetryPolicy, SimOutcome, Simulator, Stage,
-    StragglerConfig, TraceEvent, TransferPolicy,
+    Discipline, JobSpec, JobStatus, LinkMix, LinkSpec, Passive, RetryPolicy, SimOutcome, Simulator,
+    Stage, StragglerConfig, TraceEvent, TransferPolicy,
 };
 
 /// Builds a deterministic random fleet workload from one seed word.
@@ -64,7 +64,7 @@ fn workload(seed: u64, links: usize, jobs: usize) -> (Simulator, Vec<JobSpec>) {
             JobSpec { id: j as u64, release_us: h % 200_000, stages }
         })
         .collect();
-    (Simulator::new(link_table), specs)
+    (Simulator::builder().links(link_table).build(), specs)
 }
 
 /// Per-attempt resolution counts keyed by `(job, stage, attempt)`.
@@ -95,7 +95,7 @@ proptest! {
         jobs in 1usize..14,
     ) {
         let (sim, specs) = workload(seed, links, jobs);
-        let outcome = sim.run(&specs);
+        let outcome = sim.run(&specs, &mut Passive);
 
         // Attempt-level conservation: each queued attempt resolves
         // (completes or times out) exactly once, and no resolution
@@ -123,11 +123,11 @@ proptest! {
             .count();
         prop_assert_eq!(completions + abandonments, specs.len());
         prop_assert_eq!(abandonments, outcome.timed_out());
-        for (job, spec) in outcome.jobs.iter().zip(&specs) {
-            match job.status {
-                JobStatus::Completed => prop_assert_eq!(job.stages.len(), spec.stages.len()),
+        for (job, spec) in outcome.jobs().zip(&specs) {
+            match job.status() {
+                JobStatus::Completed => prop_assert_eq!(job.stages().len(), spec.stages.len()),
                 JobStatus::TimedOut { stage } => {
-                    prop_assert_eq!(job.stages.len(), stage + 1);
+                    prop_assert_eq!(job.stages().len(), stage + 1);
                     prop_assert!(matches!(spec.stages[stage], Stage::Transfer { .. }));
                 }
             }
@@ -142,11 +142,11 @@ proptest! {
     ) {
         let (sim_a, specs_a) = workload(seed, links, jobs);
         let (sim_b, specs_b) = workload(seed, links, jobs);
-        let a = sim_a.run(&specs_a);
-        let b = sim_b.run(&specs_b);
+        let a = sim_a.run(&specs_a, &mut Passive);
+        let b = sim_b.run(&specs_b, &mut Passive);
         prop_assert_eq!(&a.trace, &b.trace, "same seed must replay bit-identically");
         prop_assert_eq!(a.fingerprint(), b.fingerprint());
-        prop_assert_eq!(&a.jobs, &b.jobs);
+        prop_assert_eq!(&a, &b);
 
         // And the trace is totally ordered in time (the virtual clock
         // never runs backwards).
@@ -155,9 +155,9 @@ proptest! {
         }
 
         let (sim_c, specs_c) = workload(seed ^ 0x5EED_CAFE, links, jobs);
-        let c = sim_c.run(&specs_c);
+        let c = sim_c.run(&specs_c, &mut Passive);
         prop_assert!(
-            c.trace != a.trace || c.jobs == a.jobs,
+            c.trace != a.trace || c == a,
             "a different seed may only coincide if outcomes coincide"
         );
     }
@@ -174,10 +174,10 @@ proptest! {
         let (_, specs) = workload(seed, 1, jobs);
         let profile = LinkMix::all_wifi().assign(seed, 0).profile;
         for discipline in [Discipline::FairShare, Discipline::Fifo] {
-            let sim = Simulator::new(vec![LinkSpec { profile, discipline }]);
-            let outcome = sim.run(&specs);
+            let sim = Simulator::builder().links(vec![LinkSpec { profile, discipline }]).build();
+            let outcome = sim.run(&specs, &mut Passive);
             for job in outcome.completed() {
-                for stage in &job.stages {
+                for stage in job.stages() {
                     prop_assert!(
                         stage.span_us() >= stage.ideal_us,
                         "{:?} finished a {} stage in {} µs, below its ideal {} µs",

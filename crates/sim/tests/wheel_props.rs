@@ -1,0 +1,89 @@
+//! Property test for the timer wheel: under any schedule/fire
+//! interleaving, pops match the old `BinaryHeap<Reverse<(time, seq)>>`
+//! ordering exactly — including `(time, seq)` ties — on random event
+//! sets spanning every wheel level and the far-future overflow bucket.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use proptest::prelude::*;
+
+use pelican_sim::TimerWheel;
+
+/// One scripted action: schedule an event `delay` after the current
+/// virtual time (possibly 0, possibly beyond the wheel horizon), or
+/// fire the next one.
+#[derive(Debug, Clone)]
+enum Op {
+    Push { delay: u64 },
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Selector-weighted mix: short delays hammer level 0, medium delays
+    // the middle levels, shifted delays the top levels and the overflow
+    // bucket, and the rest of the weight fires.
+    (0u8..12, 0u64..1 << 20, 0u32..40).prop_map(|(sel, raw, shift)| match sel {
+        0..=2 => Op::Push { delay: raw % 64 },
+        3..=5 => Op::Push { delay: raw },
+        6 | 7 => Op::Push { delay: (raw % 64) << shift },
+        _ => Op::Pop,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn wheel_pops_in_exact_heap_order(ops in prop::collection::vec(op_strategy(), 1usize..400)) {
+        let mut wheel: TimerWheel<()> = TimerWheel::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for op in ops {
+            match op {
+                Op::Push { delay } => {
+                    seq += 1;
+                    wheel.push(now + delay, seq, ());
+                    heap.push(Reverse((now + delay, seq)));
+                }
+                Op::Pop => {
+                    let expect = heap.pop();
+                    let got = wheel.pop().map(|e| (e.at, e.seq));
+                    prop_assert_eq!(got, expect.map(|Reverse(p)| p));
+                    if let Some((at, _)) = got {
+                        now = at;
+                        prop_assert_eq!(wheel.now(), at);
+                    }
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+        }
+        // Drain what's left: the tail must still agree element-for-element.
+        while let Some(Reverse(expect)) = heap.pop() {
+            let got = wheel.pop().expect("wheel and heap hold the same entries");
+            prop_assert_eq!((got.at, got.seq), expect);
+        }
+        prop_assert!(wheel.is_empty());
+        prop_assert!(wheel.pop().is_none());
+    }
+
+    #[test]
+    fn same_instant_ties_resolve_by_sequence(
+        base in 0u64..1 << 30,
+        batch in 2usize..24,
+    ) {
+        // All entries at one deadline, pushed in shuffled-seq order via
+        // interleaved earlier/later seqs: pops must come back sorted.
+        let mut wheel: TimerWheel<usize> = TimerWheel::new();
+        for i in 0..batch {
+            // Zig-zag insertion order, monotone seqs: seq i, deadline base.
+            wheel.push(base, i as u64 + 1, i);
+        }
+        for i in 0..batch {
+            let e = wheel.pop().expect("batch entry");
+            prop_assert_eq!((e.at, e.seq, e.item), (base, i as u64 + 1, i));
+        }
+        prop_assert!(wheel.is_empty());
+    }
+}

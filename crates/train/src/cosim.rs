@@ -10,7 +10,7 @@
 //! — yet the post-hoc replay prices it anyway.
 //!
 //! [`cosimulate_fleet`] runs R training rounds through the reactive
-//! engine ([`pelican_sim::Simulator::run_reactive`]) on one event heap:
+//! engine (a reactive [`pelican_sim::Simulator::run`]) on one event heap:
 //!
 //! * every device's round is a four-stage sim job (download → train →
 //!   audit → upload), with train/audit durations and upload sizes drawn
@@ -273,7 +273,7 @@ pub fn cosimulate_fleet(
     };
     let initial: Vec<JobSpec> =
         (0..devices.len()).map(|device| flow.spec_for(device, 0, 0)).collect();
-    let sim = Simulator::new(links).run_reactive(&initial, &mut flow);
+    let sim = Simulator::builder().links(links).build().run(&initial, &mut flow);
     CosimReport {
         mode,
         rounds: rounds.len(),
@@ -344,9 +344,10 @@ impl Workload for CosimFlow<'_> {
         let completed = job.status == JobStatus::Completed;
         // Transfer stages only: compute stages always report one attempt
         // and would inflate the retry accounting.
-        let attempts = ["download", "upload"]
+        let attempts = job
+            .stages
             .iter()
-            .filter_map(|label| job.stage(label))
+            .filter(|s| matches!(s.label, "download" | "upload"))
             .map(|s| s.attempts)
             .sum();
         self.records.push(RoundRecord {
@@ -473,8 +474,7 @@ mod tests {
             );
         }
         // Traces agree on that absence too, via the round-tagged job ids.
-        let closed_round1_jobs =
-            closed.sim.jobs.iter().filter(|j| j.id >> ROUND_SHIFT == 1).count();
+        let closed_round1_jobs = closed.sim.jobs().filter(|j| j.id() >> ROUND_SHIFT == 1).count();
         assert_eq!(closed_round1_jobs, 12 - closed.timed_out_round0());
     }
 

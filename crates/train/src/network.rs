@@ -252,18 +252,22 @@ pub fn simulate_fleet_network(
     // One round, so open vs. closed is moot; jobs land in device order.
     let sim = cosimulate_fleet(&[report], general_bytes, config, LoopMode::Open).sim;
     let enrolls = sim
-        .jobs
-        .iter()
+        .jobs()
         .zip(&devices)
         .zip(&report.outcomes)
         .map(|((job, device), outcome)| {
-            let transfer_stages = ["download", "upload"];
             let (mut queue_us, mut transfer_us, mut attempts) = (0, 0, 0);
-            for label in transfer_stages {
-                if let Some(s) = job.stage(label) {
-                    queue_us += s.wait_us();
-                    transfer_us += s.ideal_us;
-                    attempts += s.attempts;
+            let (mut train_us, mut audit_us) = (0, 0);
+            for s in job.stages() {
+                match s.label {
+                    "download" | "upload" => {
+                        queue_us += s.wait_us();
+                        transfer_us += s.ideal_us;
+                        attempts += s.attempts;
+                    }
+                    "train" => train_us = s.span_us(),
+                    "audit" => audit_us = s.span_us(),
+                    _ => {}
                 }
             }
             NetEnroll {
@@ -272,11 +276,11 @@ pub fn simulate_fleet_network(
                 link: device.profile.name,
                 queue_us,
                 transfer_us,
-                train_us: job.stage("train").map_or(0, |s| s.span_us()),
-                audit_us: job.stage("audit").map_or(0, |s| s.span_us()),
+                train_us,
+                audit_us,
                 enroll_us: job.total_us(),
                 attempts,
-                completed: job.status == JobStatus::Completed,
+                completed: job.status() == JobStatus::Completed,
             }
         })
         .collect();
