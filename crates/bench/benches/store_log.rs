@@ -1,0 +1,97 @@
+//! Criterion bench for the durable model store's hot paths.
+//!
+//! The log sits on the fleet's publication path — every audited model
+//! crosses `EnvelopeStore::append` before it may serve — and recovery
+//! replay bounds restart time, so both get host-time numbers:
+//!
+//! * `append/*` — one envelope publication through the write-ahead
+//!   commit path, compression off and on (LZSS pays CPU to shrink the
+//!   log; the ratio is reported by `repro store-report`).
+//! * `replay/*` — `EnvelopeStore::open` over a prebuilt log: the full
+//!   committed-prefix scan, CRC checks and index build.
+//! * `fetch_latest` — the read-through path a registry cold miss takes.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pelican_nn::ModelEnvelope;
+use pelican_store::{EnvelopeStore, MemBackend, StoreConfig};
+
+/// A model-shaped payload: structured regions (compressible) plus a
+/// varying stripe so versions differ.
+fn envelope(version: u64, bytes: usize) -> ModelEnvelope {
+    let body: Vec<u8> = (0..bytes)
+        .map(|i| if i % 4 == 0 { (i as u64 * 31 + version * 131) as u8 } else { (i % 256) as u8 })
+        .collect();
+    ModelEnvelope::from_bytes(body)
+}
+
+/// A log with `users * versions` committed publications.
+fn build_log(users: u64, versions: u64, bytes: usize, compress: bool) -> MemBackend {
+    let disk = MemBackend::new();
+    let store = EnvelopeStore::open(
+        Arc::new(disk.clone()),
+        StoreConfig { shards: 4, compress, ..StoreConfig::default() },
+    )
+    .expect("fresh backend opens");
+    let mut version = 0;
+    for v in 0..versions {
+        for user in 0..users {
+            version += 1;
+            store.append(user, version, &envelope(v, bytes)).expect("append");
+        }
+    }
+    disk
+}
+
+fn bench_store_log(c: &mut Criterion) {
+    const PAYLOAD: usize = 8 * 1024;
+
+    let mut group = c.benchmark_group("store_log");
+    for compress in [false, true] {
+        let label = if compress { "lzss" } else { "raw" };
+
+        group.bench_function(format!("append/{label}"), |b| {
+            let store = EnvelopeStore::open(
+                Arc::new(MemBackend::new()),
+                StoreConfig { shards: 4, compress, ..StoreConfig::default() },
+            )
+            .expect("open");
+            let payload = envelope(1, PAYLOAD);
+            let mut version = 0u64;
+            b.iter(|| {
+                version += 1;
+                store.append(version % 16, version, &payload).expect("append")
+            });
+        });
+
+        group.bench_function(format!("replay/{label}"), |b| {
+            let disk = build_log(16, 8, PAYLOAD, compress);
+            let config = StoreConfig { shards: 4, compress, ..StoreConfig::default() };
+            b.iter(|| {
+                let store = EnvelopeStore::open(Arc::new(disk.clone()), config).expect("replay");
+                assert_eq!(store.recovery().torn_segments, 0);
+                store.max_version()
+            });
+        });
+    }
+
+    group.bench_function("fetch_latest", |b| {
+        let disk = build_log(16, 8, PAYLOAD, false);
+        let store = EnvelopeStore::open(
+            Arc::new(disk),
+            StoreConfig { shards: 4, ..StoreConfig::default() },
+        )
+        .expect("open");
+        let mut user = 0u64;
+        b.iter(|| {
+            user = (user + 1) % 16;
+            store.fetch_latest(user).expect("fetch").expect("published")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_log);
+criterion_main!(benches);

@@ -13,6 +13,7 @@
 //! | [`network`] | device↔cloud network simulation: link-mix × retry sweep, contention, cloud RTT (beyond the paper) |
 //! | [`cosim`] | closed-loop network/compute co-simulation: open vs. closed loops, width invariance, sim-driven scheduler fidelity (beyond the paper) |
 //! | [`sim_scale`] | sim-core scaling: timer-wheel events/sec, memory and shard invariance at 10⁴–10⁶ devices (beyond the paper) |
+//! | [`store`] | durable model store: log throughput, crash-recovery probe, rollback-under-traffic staleness (beyond the paper) |
 //!
 //! Every experiment registers in the [`Experiment`] registry:
 //! [`experiments`] enumerates them (driving `repro --list`) and
@@ -28,6 +29,7 @@ pub mod personalization;
 pub mod serving;
 pub mod sim_scale;
 pub mod spatial;
+pub mod store;
 pub mod training;
 
 use pelican::workbench::Scenario;
@@ -163,6 +165,12 @@ static REGISTRY: &[Entry] = &[
         description:
             "sim-core scaling: events/sec, RSS and shard invariance at 10k/100k/1M devices",
         run: run_sim_scale,
+    },
+    Entry {
+        name: "store-report",
+        description:
+            "durable model store: log throughput, crash-recovery probe, rollback staleness",
+        run: run_store_report,
     },
     Entry {
         name: "ablate-defenses",
@@ -327,6 +335,23 @@ fn run_cosim_report(config: &RunConfig) {
     println!("{}", cosim::width_table(&run).render());
     println!("sim-driven batch scheduler vs. network jitter:");
     println!("{}", cosim::serve_table(&run).render());
+}
+
+fn run_store_report(config: &RunConfig) {
+    banner("Durable model store — log throughput, recovery, rollback", config);
+    let result = store::run(config);
+    println!("\nappend throughput and compaction (envelope log):");
+    println!("{}", store::table(&result).render());
+    println!(
+        "crash probe: {}/{} torn offsets recovered to the exact committed prefix",
+        result.crash_points_correct, result.crash_points
+    );
+    assert_eq!(
+        result.crash_points_correct, result.crash_points,
+        "a crash point violated the committed-prefix contract"
+    );
+    println!();
+    println!("{}", result.rollback.render());
 }
 
 fn run_sim_scale(config: &RunConfig) {

@@ -239,5 +239,5 @@ pub fn run_fleet(
     };
 
     let stats = registry.stats();
-    Ok(FleetOutcome { report: sink.report(config.tier, stats), stats, network })
+    Ok(FleetOutcome { report: sink.report(config.tier, stats.clone()), stats, network })
 }

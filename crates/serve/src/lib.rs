@@ -75,7 +75,7 @@ pub mod traffic;
 
 pub use fleet::{run_fleet, CloudNetwork, CloudRtt, FleetConfig, FleetOutcome};
 pub use metrics::{MetricsSink, ServeReport};
-pub use registry::{Lookup, RegistryConfig, RegistryStats, ShardedRegistry};
+pub use registry::{Lookup, RegistryConfig, RegistryStats, RollbackError, ShardedRegistry};
 pub use scheduler::{Batch, BatchScheduler, Completion, Request, SchedulerConfig, ServeEngine};
 pub use simserve::{
     batch_compositions, simulate_serving, ServedRequest, SimServeConfig, SimServeOutcome,

@@ -18,6 +18,23 @@
 //! it fetched even while a publisher hot-swaps the user's entry, and every
 //! publication bumps a monotone version counter so `get` after a publish
 //! always observes the newest envelope.
+//!
+//! # Durable tier
+//!
+//! A registry built with [`ShardedRegistry::with_store`] gains a third
+//! tier below the in-memory envelopes: a crash-safe
+//! [`pelican_store::EnvelopeStore`] retaining every user's full version
+//! history. Publications become **write-through** — the envelope passes
+//! the store's durability barrier *before* it becomes service-visible,
+//! so an acknowledged publish survives any crash — and lookups become
+//! **read-through**: after a restart the in-memory maps start empty and
+//! refill from the log on first touch. History retention is what powers
+//! [`ShardedRegistry::rollback`]: re-publishing any retained prior
+//! version through the same versioned hot-swap path readers already
+//! tolerate.
+//!
+//! Lock order is registry shard → store shard, everywhere; the store
+//! never calls back into the registry, so the pair cannot deadlock.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,6 +43,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use pelican::workbench::Scenario;
 use pelican::PrivacyLayer;
 use pelican_nn::{ModelCodecError, ModelEnvelope, SequenceModel};
+use pelican_store::{EnvelopeStore, StoreError};
 
 /// Sizing knobs for [`ShardedRegistry`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,7 +73,7 @@ pub enum Lookup {
 }
 
 /// Aggregate cache counters across all shards.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RegistryStats {
     /// Lookups answered from a hot cache.
     pub hits: u64,
@@ -67,10 +85,17 @@ pub struct RegistryStats {
     pub fallbacks: u64,
     /// Envelope publications (initial enrollments and hot-swap updates).
     pub publishes: u64,
+    /// Rollbacks performed (each also counts as a publish).
+    pub rollbacks: u64,
     /// Decoded models currently resident.
     pub hot_models: usize,
     /// Enrolled envelopes in cold storage.
     pub cold_models: usize,
+    /// Version-history depth per shard: with a durable store attached,
+    /// the committed versions it retains; without one, the in-memory
+    /// registry keeps only each user's current version, so this is the
+    /// per-shard enrolled-user count.
+    pub history_by_shard: Vec<u64>,
 }
 
 impl RegistryStats {
@@ -93,7 +118,44 @@ impl RegistryStats {
             self.fallbacks as f64 / total as f64
         }
     }
+
+    /// Total version-history depth across shards.
+    pub fn history_total(&self) -> u64 {
+        self.history_by_shard.iter().sum()
+    }
 }
+
+/// Why a [`ShardedRegistry::rollback`] could not complete.
+#[derive(Debug)]
+pub enum RollbackError {
+    /// The registry has no durable store, so no history to roll back to.
+    NoStore,
+    /// The store retains no committed envelope with this version for the
+    /// user (never published, or compacted beyond the retention depth).
+    UnknownVersion {
+        /// The user whose history was searched.
+        user_id: usize,
+        /// The requested (missing) version.
+        version: u64,
+    },
+    /// The store failed reading the historical envelope or persisting
+    /// the re-publication.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for RollbackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RollbackError::NoStore => write!(f, "registry has no durable store attached"),
+            RollbackError::UnknownVersion { user_id, version } => {
+                write!(f, "user {user_id} has no retained version {version} to roll back to")
+            }
+            RollbackError::Store(e) => write!(f, "store failure during rollback: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RollbackError {}
 
 #[derive(Debug, Clone)]
 struct HotEntry {
@@ -135,7 +197,12 @@ pub struct ShardedRegistry {
     hot_capacity: usize,
     fallbacks: AtomicU64,
     /// Monotone publication counter; each enrollment gets the next value.
+    /// With a store attached it is seeded past the highest committed
+    /// version, so monotonicity survives restarts.
     versions: AtomicU64,
+    rollbacks: AtomicU64,
+    /// Durable cold tier retaining full version history (optional).
+    store: Option<Arc<EnvelopeStore>>,
 }
 
 impl Clone for ShardedRegistry {
@@ -146,6 +213,8 @@ impl Clone for ShardedRegistry {
             hot_capacity: self.hot_capacity,
             fallbacks: AtomicU64::new(self.fallbacks.load(Ordering::Relaxed)),
             versions: AtomicU64::new(self.versions.load(Ordering::Relaxed)),
+            rollbacks: AtomicU64::new(self.rollbacks.load(Ordering::Relaxed)),
+            store: self.store.clone(),
         }
     }
 }
@@ -165,7 +234,44 @@ impl ShardedRegistry {
             hot_capacity: config.hot_capacity,
             fallbacks: AtomicU64::new(0),
             versions: AtomicU64::new(0),
+            rollbacks: AtomicU64::new(0),
+            store: None,
         }
+    }
+
+    /// Creates a registry whose cold tier is a durable
+    /// [`EnvelopeStore`]: publications are write-through (durable before
+    /// visible), lookups read through to the log on an in-memory miss,
+    /// and the publication version counter resumes past the highest
+    /// committed version the store replayed — so a registry reopened
+    /// over yesterday's log serves yesterday's models at tomorrow's
+    /// version numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizing knobs (as [`ShardedRegistry::new`]) and
+    /// when the store's shard count differs from `config.shards` —
+    /// both sides shard by `user % shards`, and aligned shards keep
+    /// [`RegistryStats::history_by_shard`] meaningful.
+    pub fn with_store(
+        general: SequenceModel,
+        config: RegistryConfig,
+        store: Arc<EnvelopeStore>,
+    ) -> Self {
+        assert_eq!(
+            store.shard_count(),
+            config.shards,
+            "store and registry must agree on the shard count"
+        );
+        let mut registry = Self::new(general, config);
+        registry.versions = AtomicU64::new(store.max_version());
+        registry.store = Some(store);
+        registry
+    }
+
+    /// The durable store behind this registry, when one is attached.
+    pub fn store(&self) -> Option<&Arc<EnvelopeStore>> {
+        self.store.as_ref()
     }
 
     fn lock<'a>(&'a self, shard: &'a Mutex<Shard>) -> MutexGuard<'a, Shard> {
@@ -189,11 +295,41 @@ impl ShardedRegistry {
         &self.general
     }
 
+    /// The single internal publication path every enrollment, hot-swap
+    /// update and rollback funnels through.
+    ///
+    /// Under the shard lock: allocate the next monotone version, make it
+    /// durable (when a store is attached, [`EnvelopeStore::append`]
+    /// returns only after its durability barrier — the envelope is on
+    /// "disk" *before* it is service-visible), then atomically swap the
+    /// cold envelope and drop the stale hot copy. Two publishers racing
+    /// on one user serialize on the shard lock and commit in version
+    /// order; a failed durable append burns the version number but
+    /// publishes nothing.
+    fn publish(&self, user_id: usize, envelope: ModelEnvelope) -> Result<u64, StoreError> {
+        let mut shard = self.lock(&self.shards[self.shard_of(user_id)]);
+        // Allocate the version *under* the shard lock: two publishers
+        // racing on the same user then commit in version order, so the
+        // entry that wins the map insert is always the higher version.
+        let version = self.versions.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(store) = &self.store {
+            store.append(user_id as u64, version, &envelope)?;
+        }
+        shard.cold.insert(user_id, ColdEntry { envelope, version });
+        shard.hot.remove(&user_id);
+        Ok(version)
+    }
+
     /// Enrolls (or replaces) a user's personalized model: the model is
     /// encoded to cold envelope bytes and any stale hot copy is dropped,
     /// so the next lookup decodes the fresh parameters. Returns the
     /// publication version assigned to this model (monotone across the
     /// whole registry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a durable store is attached and its backend fails (use
+    /// [`ShardedRegistry::try_enroll_envelope`] to handle that).
     pub fn enroll(&self, user_id: usize, model: &SequenceModel) -> u64 {
         let envelope = ModelEnvelope::encode(model);
         self.enroll_envelope(user_id, envelope)
@@ -205,15 +341,56 @@ impl ShardedRegistry {
     /// under the shard lock, the cold envelope is replaced and the stale
     /// hot copy removed, so no subsequent `get` can observe an older
     /// version. Returns the assigned publication version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a durable store is attached and its backend fails (use
+    /// [`ShardedRegistry::try_enroll_envelope`] to handle that).
     pub fn enroll_envelope(&self, user_id: usize, envelope: ModelEnvelope) -> u64 {
-        let mut shard = self.lock(&self.shards[self.shard_of(user_id)]);
-        // Allocate the version *under* the shard lock: two publishers
-        // racing on the same user then commit in version order, so the
-        // entry that wins the map insert is always the higher version.
-        let version = self.versions.fetch_add(1, Ordering::Relaxed) + 1;
-        shard.cold.insert(user_id, ColdEntry { envelope, version });
-        shard.hot.remove(&user_id);
-        version
+        self.publish(user_id, envelope).expect("durable publication failed")
+    }
+
+    /// Fallible twin of [`ShardedRegistry::enroll_envelope`] for callers
+    /// that must survive storage-backend failures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when the durable append fails; the
+    /// publication is not visible in that case.
+    pub fn try_enroll_envelope(
+        &self,
+        user_id: usize,
+        envelope: ModelEnvelope,
+    ) -> Result<u64, StoreError> {
+        self.publish(user_id, envelope)
+    }
+
+    /// Rolls a user back to a retained historical version by
+    /// re-publishing that envelope through the same versioned hot-swap
+    /// path as any other publication: the rollback gets a **new**
+    /// monotone version number (history records what was served when),
+    /// becomes durable before visible, and in-flight readers finish on
+    /// whatever version they already hold. Returns the new version.
+    ///
+    /// # Errors
+    ///
+    /// [`RollbackError::NoStore`] without a durable store;
+    /// [`RollbackError::UnknownVersion`] when the target version is not
+    /// retained (never published or compacted away);
+    /// [`RollbackError::Store`] on backend failure.
+    pub fn rollback(&self, user_id: usize, version: u64) -> Result<u64, RollbackError> {
+        let store = self.store.as_ref().ok_or(RollbackError::NoStore)?;
+        // Fetch outside the registry shard lock (lock order is registry
+        // shard -> store shard; this takes only the latter).
+        let envelope = store.fetch(user_id as u64, version).map_err(|e| match e {
+            StoreError::UnknownVersion { user, version } => {
+                RollbackError::UnknownVersion { user_id: user as usize, version }
+            }
+            other => RollbackError::Store(other),
+        })?;
+        let new_version = self.publish(user_id, envelope).map_err(RollbackError::Store)?;
+        self.rollbacks.fetch_add(1, Ordering::Relaxed);
+        Ok(new_version)
     }
 
     /// Bulk enrollment from an experiment [`Scenario`]: every
@@ -232,15 +409,22 @@ impl ShardedRegistry {
         scenario.personal.len()
     }
 
-    /// Whether a personalized model is enrolled for the user.
+    /// Whether a personalized model is enrolled for the user (in memory
+    /// or, after a restart, still waiting in the durable log).
     pub fn is_enrolled(&self, user_id: usize) -> bool {
-        self.lock(&self.shards[self.shard_of(user_id)]).cold.contains_key(&user_id)
+        if self.lock(&self.shards[self.shard_of(user_id)]).cold.contains_key(&user_id) {
+            return true;
+        }
+        self.store.as_ref().is_some_and(|s| s.contains(user_id as u64))
     }
 
     /// The publication version of the user's current model, or `None` if
-    /// the user never enrolled.
+    /// the user never enrolled. Consults the durable log when the
+    /// in-memory tier has not been warmed since a restart.
     pub fn version_of(&self, user_id: usize) -> Option<u64> {
-        self.lock(&self.shards[self.shard_of(user_id)]).cold.get(&user_id).map(|e| e.version)
+        let from_memory =
+            self.lock(&self.shards[self.shard_of(user_id)]).cold.get(&user_id).map(|e| e.version);
+        from_memory.or_else(|| self.store.as_ref().and_then(|s| s.latest_version(user_id as u64)))
     }
 
     /// Looks up the model that should answer a user's query, decoding cold
@@ -266,8 +450,23 @@ impl ShardedRegistry {
             shard.hits += 1;
             return Ok((model, Lookup::Hot));
         }
-        if let Some(entry) = shard.cold.get(&user_id) {
-            let model = Arc::new(entry.envelope.decode()?);
+        // In-memory cold miss: read through to the durable log (a
+        // restarted registry starts with empty maps and refills them on
+        // first touch). The store fetch happens under the registry shard
+        // lock, so no publisher can interleave a newer version between
+        // the fetch and the cache fill. Store I/O failures degrade to
+        // the fallback model rather than erroring the serving path.
+        let from_store = match shard.cold.get(&user_id) {
+            Some(entry) => Some((entry.envelope.clone(), entry.version)),
+            None => self.store.as_ref().and_then(|store| {
+                let version = store.latest_version(user_id as u64)?;
+                let envelope = store.fetch(user_id as u64, version).ok()?;
+                Some((envelope, version))
+            }),
+        };
+        if let Some((envelope, version)) = from_store {
+            let model = Arc::new(envelope.decode()?);
+            shard.cold.insert(user_id, ColdEntry { envelope, version });
             shard.misses += 1;
             if shard.hot.len() >= capacity {
                 let (&lru, _) = shard
@@ -291,6 +490,7 @@ impl ShardedRegistry {
         let mut stats = RegistryStats {
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
             publishes: self.versions.load(Ordering::Relaxed),
+            rollbacks: self.rollbacks.load(Ordering::Relaxed),
             ..RegistryStats::default()
         };
         for shard in &self.shards {
@@ -300,6 +500,13 @@ impl ShardedRegistry {
             stats.evictions += shard.evictions;
             stats.hot_models += shard.hot.len();
             stats.cold_models += shard.cold.len();
+            stats.history_by_shard.push(shard.cold.len() as u64);
+        }
+        if let Some(store) = &self.store {
+            // Shard counts are aligned (asserted in `with_store`), so the
+            // store's retained-history depths replace the 1-version-deep
+            // in-memory view shard for shard.
+            stats.history_by_shard = store.stats().retained_by_shard;
         }
         stats
     }
@@ -436,6 +643,100 @@ mod tests {
         assert_eq!(r.shard_count(), 4);
         for uid in 0..16 {
             assert_eq!(r.shard_of(uid), uid % 4);
+        }
+    }
+
+    mod durable {
+        use super::*;
+        use pelican_store::{MemBackend, StoreConfig};
+
+        fn durable_registry(disk: &MemBackend, shards: usize) -> ShardedRegistry {
+            let store = EnvelopeStore::open(
+                Arc::new(disk.clone()),
+                StoreConfig { shards, ..StoreConfig::default() },
+            )
+            .expect("open store");
+            ShardedRegistry::with_store(
+                model(0),
+                RegistryConfig { shards, hot_capacity: 4 },
+                Arc::new(store),
+            )
+        }
+
+        #[test]
+        fn publications_survive_a_restart_with_monotone_versions() {
+            let disk = MemBackend::new();
+            let r = durable_registry(&disk, 2);
+            let m = model(9);
+            let v1 = r.enroll(9, &m);
+            let v2 = r.enroll(9, &model(10));
+            assert!(v2 > v1);
+            drop(r); // the process "exits"; the disk survives
+
+            let r = durable_registry(&disk, 2);
+            assert!(r.is_enrolled(9), "durable log answers before any warmup");
+            assert_eq!(r.version_of(9), Some(v2));
+            let (_, kind) = r.get(9).unwrap();
+            assert_eq!(kind, Lookup::Cold, "read-through refill from the log");
+            let (_, kind) = r.get(9).unwrap();
+            assert_eq!(kind, Lookup::Hot);
+            // Versions keep climbing from where the log left off.
+            let v3 = r.enroll(9, &model(11));
+            assert!(v3 > v2, "restarted counter resumes past the log's max");
+        }
+
+        #[test]
+        fn rollback_republishes_history_through_the_hot_swap_path() {
+            let disk = MemBackend::new();
+            let r = durable_registry(&disk, 2);
+            let good = model(1);
+            let v1 = r.enroll(4, &good);
+            r.get(4).unwrap(); // warm the hot cache with v1... then regress:
+            let v2 = r.enroll(4, &model(2));
+            assert_eq!(r.version_of(4), Some(v2));
+
+            let v3 = r.rollback(4, v1).expect("v1 is retained");
+            assert!(v3 > v2, "rollback is a fresh publication, not a rewind");
+            assert_eq!(r.version_of(4), Some(v3));
+            let xs = vec![vec![0.2; 4]; 2];
+            let (served, kind) = r.get(4).unwrap();
+            assert_eq!(kind, Lookup::Cold, "rollback dropped the stale hot copy");
+            assert_eq!(served.predict_proba(&xs), good.predict_proba(&xs));
+
+            let stats = r.stats();
+            assert_eq!(stats.rollbacks, 1);
+            assert_eq!(stats.publishes, 3);
+            assert_eq!(stats.history_total(), 3, "all three publications retained");
+            assert_eq!(stats.history_by_shard.len(), 2);
+
+            // The rollback itself is durable: a restart serves v1's weights.
+            drop(r);
+            let r = durable_registry(&disk, 2);
+            let (served, _) = r.get(4).unwrap();
+            assert_eq!(served.predict_proba(&xs), good.predict_proba(&xs));
+        }
+
+        #[test]
+        fn rollback_errors_are_precise() {
+            let disk = MemBackend::new();
+            let r = durable_registry(&disk, 2);
+            assert!(matches!(
+                r.rollback(1, 1),
+                Err(RollbackError::UnknownVersion { user_id: 1, version: 1 })
+            ));
+            let plain = registry(2, 2);
+            assert!(matches!(plain.rollback(1, 1), Err(RollbackError::NoStore)));
+        }
+
+        #[test]
+        fn history_by_shard_without_a_store_counts_current_versions() {
+            let r = registry(2, 2);
+            r.enroll(0, &model(1));
+            r.enroll(2, &model(2));
+            r.enroll(3, &model(3));
+            let stats = r.stats();
+            assert_eq!(stats.history_by_shard, vec![2, 1]);
+            assert_eq!(stats.history_total(), 3);
         }
     }
 }

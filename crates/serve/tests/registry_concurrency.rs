@@ -1,0 +1,149 @@
+//! Concurrent publication torture test for the durable registry.
+//!
+//! N writer threads hot-swap models (and roll users back) while M
+//! reader threads serve lookups through the same `&ShardedRegistry`.
+//! Three invariants must hold under every interleaving:
+//!
+//! 1. **Monotone versions** — a user's observed version never goes
+//!    backwards (rollback included: it re-publishes under a *new*
+//!    version).
+//! 2. **No mixed envelopes** — every served model answers bit-identically
+//!    to exactly one published model; a lookup can never observe half
+//!    old, half new weights, because the envelope swap and hot-copy drop
+//!    happen under one shard lock.
+//! 3. **Durability** — after the dust settles, a restart over the same
+//!    backend serves each user's final version.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pelican_nn::SequenceModel;
+use pelican_serve::{RegistryConfig, ShardedRegistry};
+use pelican_store::{EnvelopeStore, MemBackend, StoreConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const USERS: usize = 6;
+const MODELS: usize = 5;
+const WRITERS: u64 = 3;
+const READERS: u64 = 4;
+const ROUNDS: usize = 40;
+
+fn model(seed: u64) -> SequenceModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    SequenceModel::single_lstm(3, 4, 3, 0.0, &mut rng)
+}
+
+#[test]
+fn writers_readers_and_rollbacks_interleave_safely() {
+    let disk = MemBackend::new();
+    let store = EnvelopeStore::open(
+        Arc::new(disk.clone()),
+        StoreConfig { shards: 4, ..StoreConfig::default() },
+    )
+    .unwrap();
+    let registry = ShardedRegistry::with_store(
+        model(0),
+        RegistryConfig { shards: 4, hot_capacity: 3 },
+        Arc::new(store),
+    );
+
+    // The closed world of publishable models and their exact answers:
+    // any served output must match one of these bit for bit.
+    let probe = vec![vec![0.3f32; 3]; 2];
+    let models: Vec<SequenceModel> = (0..MODELS as u64).map(|k| model(100 + k)).collect();
+    let fallback_answer = registry.general().predict_proba(&probe);
+    let answers: Vec<Vec<f32>> = models.iter().map(|m| m.predict_proba(&probe)).collect();
+
+    let torn_reads = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        // Writers: each hammers every user with publications; every
+        // few rounds, roll the user back to an earlier retained version.
+        for w in 0..WRITERS {
+            let registry = &registry;
+            let models = &models;
+            s.spawn(move || {
+                let mut my_versions: Vec<u64> = Vec::new();
+                let mut mine_per_user: Vec<Vec<u64>> = vec![Vec::new(); USERS];
+                for round in 0..ROUNDS {
+                    let user = (w as usize + round) % USERS;
+                    let m = &models[(w as usize * ROUNDS + round) % MODELS];
+                    let v = registry.enroll(user, m);
+                    my_versions.push(v);
+                    mine_per_user[user].push(v);
+                    if round % 7 == 6 && mine_per_user[user].len() > 1 {
+                        // Roll back to this thread's first publication
+                        // for the user — a genuinely old version.
+                        let target = mine_per_user[user][0];
+                        let new_v = registry
+                            .rollback(user, target)
+                            .expect("earlier publication is retained");
+                        assert!(new_v > v, "rollback publishes forward");
+                        mine_per_user[user].push(new_v);
+                    }
+                }
+                // This thread's own publications were strictly monotone.
+                assert!(my_versions.windows(2).all(|w| w[1] > w[0]));
+            });
+        }
+
+        // Readers: every served answer must be exactly one published
+        // model's answer (or the fallback before a user's first
+        // publication), and per-user versions never regress.
+        for r in 0..READERS {
+            let registry = &registry;
+            let answers = &answers;
+            let fallback_answer = &fallback_answer;
+            let probe = &probe;
+            let torn_reads = &torn_reads;
+            s.spawn(move || {
+                let mut floor = [0u64; USERS];
+                for i in 0..ROUNDS * 4 {
+                    let user = (r as usize + i) % USERS;
+                    let (served, _) = registry.get(user).expect("envelopes decode");
+                    let out = served.predict_proba(probe);
+                    let intact = out == *fallback_answer || answers.contains(&out);
+                    if !intact {
+                        torn_reads.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if let Some(v) = registry.version_of(user) {
+                        assert!(
+                            v >= floor[user],
+                            "user {user} version regressed: {v} < {}",
+                            floor[user]
+                        );
+                        floor[user] = v;
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(torn_reads.load(Ordering::Relaxed), 0, "a read observed mixed weights");
+
+    // Everything the writers acknowledged is on "disk": a restarted
+    // registry serves each user's final version, answer-identical.
+    let final_answers: Vec<Vec<f32>> =
+        (0..USERS).map(|u| registry.get(u).unwrap().0.predict_proba(&probe)).collect();
+    let final_versions: Vec<Option<u64>> = (0..USERS).map(|u| registry.version_of(u)).collect();
+    let stats = registry.stats();
+    assert_eq!(stats.publishes, stats.history_total(), "every publication is retained");
+    drop(registry);
+
+    let store =
+        EnvelopeStore::open(Arc::new(disk), StoreConfig { shards: 4, ..StoreConfig::default() })
+            .unwrap();
+    assert_eq!(store.recovery().torn_segments, 0);
+    let reborn = ShardedRegistry::with_store(
+        model(0),
+        RegistryConfig { shards: 4, hot_capacity: 3 },
+        Arc::new(store),
+    );
+    for u in 0..USERS {
+        assert_eq!(reborn.version_of(u), final_versions[u], "user {u} version survived");
+        assert_eq!(
+            reborn.get(u).unwrap().0.predict_proba(&probe),
+            final_answers[u],
+            "user {u} weights survived the restart"
+        );
+    }
+}

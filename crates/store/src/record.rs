@@ -1,0 +1,321 @@
+//! On-disk layout of segments and publication records.
+//!
+//! A segment file is a fixed header followed by back-to-back publication
+//! records, append-only:
+//!
+//! ```text
+//! segment  := header record*
+//! header   := "PSEG" fmt:u16 shard:u32 seq:u64                  (18 bytes)
+//! record   := "PLOG" user:u64 version:u64 flags:u8
+//!             raw_len:u32 len:u32 payload[len]
+//!             crc32:u32 commit:u8 (= 0xC7)
+//! ```
+//!
+//! All integers are little-endian. `flags` bit 0 marks an
+//! LZSS-compressed payload (`len` stored bytes inflate to `raw_len`).
+//! The CRC covers every byte between the record magic and the CRC field
+//! itself (user through payload).
+//!
+//! **The trailing commit byte is the write-ahead commit record.** A
+//! publication is durable if and only if its commit byte (preceded by a
+//! matching CRC) reached storage: the store appends the whole record in
+//! one write and syncs before the publication becomes visible, so after
+//! a crash the tail of a segment is either a complete committed record
+//! or torn garbage. Recovery ([`scan_segment`]) walks records from the
+//! front and stops at the first byte that cannot be part of a committed
+//! record — everything before that point is the committed prefix,
+//! everything after is truncated. There is no rollback journal to undo:
+//! an append-only log's "undo" is dropping the torn tail.
+
+/// Segment file magic.
+pub const SEGMENT_MAGIC: &[u8; 4] = b"PSEG";
+/// Record magic.
+pub const RECORD_MAGIC: &[u8; 4] = b"PLOG";
+/// On-disk format version.
+pub const FORMAT_VERSION: u16 = 1;
+/// The commit marker sealing every durable record.
+pub const COMMIT_BYTE: u8 = 0xC7;
+/// Segment header size in bytes.
+pub const HEADER_LEN: usize = 4 + 2 + 4 + 8;
+/// Fixed record overhead: magic + user + version + flags + raw_len + len
+/// up front, crc + commit behind the payload.
+pub const RECORD_OVERHEAD: usize = 4 + 8 + 8 + 1 + 4 + 4 + 4 + 1;
+
+/// `flags` bit 0: payload is LZSS-compressed.
+pub const FLAG_COMPRESSED: u8 = 0b0000_0001;
+
+/// One decoded publication record (payload still raw/compressed bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// The publishing user.
+    pub user: u64,
+    /// Registry-assigned monotone publication version.
+    pub version: u64,
+    /// Flag bits ([`FLAG_COMPRESSED`]).
+    pub flags: u8,
+    /// Uncompressed payload length.
+    pub raw_len: u32,
+    /// Payload exactly as stored (compressed when flagged).
+    pub payload: Vec<u8>,
+}
+
+impl Record {
+    /// Whether the payload must be inflated before use.
+    pub fn is_compressed(&self) -> bool {
+        self.flags & FLAG_COMPRESSED != 0
+    }
+
+    /// Total encoded size of this record on disk.
+    pub fn encoded_len(&self) -> usize {
+        RECORD_OVERHEAD + self.payload.len()
+    }
+}
+
+/// Why a segment scan stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanEnd {
+    /// The segment ended exactly on a record boundary.
+    Clean,
+    /// A torn or corrupt tail begins at the reported offset: bytes from
+    /// there on are not part of any committed record and must be
+    /// truncated.
+    Torn,
+}
+
+/// CRC-32 (IEEE 802.3), table-driven; the table is built at compile time.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = build_crc_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Encodes a segment header.
+pub fn encode_header(shard: u32, seq: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN);
+    buf.extend_from_slice(SEGMENT_MAGIC);
+    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&shard.to_le_bytes());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf
+}
+
+/// Decodes and validates a segment header, returning `(shard, seq)`.
+pub fn decode_header(bytes: &[u8]) -> Result<(u32, u64), HeaderError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(HeaderError::Truncated);
+    }
+    if &bytes[..4] != SEGMENT_MAGIC {
+        return Err(HeaderError::BadMagic);
+    }
+    let fmt = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if fmt != FORMAT_VERSION {
+        return Err(HeaderError::UnsupportedVersion(fmt));
+    }
+    let shard = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]);
+    let seq = u64::from_le_bytes(bytes[10..18].try_into().expect("8 header bytes"));
+    Ok((shard, seq))
+}
+
+/// Segment-header decode failures (always fatal: headers are written in
+/// the same synced append as the segment's first record).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderError {
+    /// Shorter than a header.
+    Truncated,
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Format version this library does not understand.
+    UnsupportedVersion(u16),
+}
+
+/// Appends one record's encoding to `out`.
+pub fn encode_record(out: &mut Vec<u8>, record: &Record) {
+    debug_assert!(record.payload.len() <= u32::MAX as usize);
+    out.extend_from_slice(RECORD_MAGIC);
+    let body_start = out.len();
+    out.extend_from_slice(&record.user.to_le_bytes());
+    out.extend_from_slice(&record.version.to_le_bytes());
+    out.push(record.flags);
+    out.extend_from_slice(&record.raw_len.to_le_bytes());
+    out.extend_from_slice(&(record.payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&record.payload);
+    let crc = crc32(&out[body_start..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.push(COMMIT_BYTE);
+}
+
+/// Attempts to decode one committed record starting at `offset`.
+///
+/// Returns `Some((record, next_offset))` only when every byte of the
+/// record — including a matching CRC and the commit marker — is present
+/// and valid; `None` means the bytes at `offset` are a torn tail (or
+/// corruption, which recovery treats identically: the committed prefix
+/// ends here).
+pub fn decode_record(bytes: &[u8], offset: usize) -> Option<(Record, usize)> {
+    let fixed_front = 4 + 8 + 8 + 1 + 4 + 4;
+    if bytes.len() < offset + fixed_front {
+        return None;
+    }
+    let at = &bytes[offset..];
+    if &at[..4] != RECORD_MAGIC {
+        return None;
+    }
+    let user = u64::from_le_bytes(at[4..12].try_into().expect("8 bytes"));
+    let version = u64::from_le_bytes(at[12..20].try_into().expect("8 bytes"));
+    let flags = at[20];
+    let raw_len = u32::from_le_bytes(at[21..25].try_into().expect("4 bytes"));
+    let len = u32::from_le_bytes(at[25..29].try_into().expect("4 bytes")) as usize;
+    let total = RECORD_OVERHEAD + len;
+    if bytes.len() < offset + total {
+        return None;
+    }
+    let payload = &at[fixed_front..fixed_front + len];
+    let stored_crc =
+        u32::from_le_bytes(at[fixed_front + len..fixed_front + len + 4].try_into().expect("crc"));
+    if crc32(&at[4..fixed_front + len]) != stored_crc {
+        return None;
+    }
+    if at[total - 1] != COMMIT_BYTE {
+        return None;
+    }
+    Some((Record { user, version, flags, raw_len, payload: payload.to_vec() }, offset + total))
+}
+
+/// Walks a segment's records from just past the header, yielding each
+/// committed record's `(start_offset, record)` and where the committed
+/// prefix ends.
+///
+/// The returned offset is the truncation point when the end is
+/// [`ScanEnd::Torn`]: every byte before it belongs to a committed
+/// record (or the header), every byte after it is unreachable garbage.
+pub fn scan_segment(bytes: &[u8]) -> (Vec<(u64, Record)>, usize, ScanEnd) {
+    let mut records = Vec::new();
+    let mut offset = HEADER_LEN.min(bytes.len());
+    loop {
+        if offset == bytes.len() {
+            return (records, offset, ScanEnd::Clean);
+        }
+        match decode_record(bytes, offset) {
+            Some((record, next)) => {
+                records.push((offset as u64, record));
+                offset = next;
+            }
+            None => return (records, offset, ScanEnd::Torn),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(user: u64, version: u64, payload: &[u8]) -> Record {
+        Record { user, version, flags: 0, raw_len: payload.len() as u32, payload: payload.to_vec() }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn header_round_trips_and_rejects_junk() {
+        let h = encode_header(3, 17);
+        assert_eq!(h.len(), HEADER_LEN);
+        assert_eq!(decode_header(&h), Ok((3, 17)));
+        assert_eq!(decode_header(&h[..HEADER_LEN - 1]), Err(HeaderError::Truncated));
+        let mut bad = h.clone();
+        bad[0] = b'X';
+        assert_eq!(decode_header(&bad), Err(HeaderError::BadMagic));
+        let mut future = h;
+        future[4] = 9;
+        assert_eq!(decode_header(&future), Err(HeaderError::UnsupportedVersion(9)));
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let r = record(42, 7, b"hello envelope");
+        let mut buf = encode_header(0, 0);
+        encode_record(&mut buf, &r);
+        let (decoded, next) = decode_record(&buf, HEADER_LEN).expect("committed record decodes");
+        assert_eq!(decoded, r);
+        assert_eq!(next, buf.len());
+        assert_eq!(r.encoded_len(), buf.len() - HEADER_LEN);
+    }
+
+    #[test]
+    fn any_truncation_of_the_record_is_torn() {
+        let r = record(1, 2, b"payload bytes here");
+        let mut buf = encode_header(0, 0);
+        encode_record(&mut buf, &r);
+        for cut in HEADER_LEN..buf.len() {
+            assert!(
+                decode_record(&buf[..cut], HEADER_LEN).is_none(),
+                "{} of {} bytes must not decode",
+                cut,
+                buf.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_rejected() {
+        let r = record(1, 2, b"payload");
+        let mut clean = encode_header(0, 0);
+        encode_record(&mut clean, &r);
+        // Flip one bit at every position after the record magic: either
+        // the CRC catches it or (for the commit byte) the marker check.
+        for pos in HEADER_LEN + 4..clean.len() {
+            let mut dirty = clean.clone();
+            dirty[pos] ^= 0x10;
+            assert!(
+                decode_record(&dirty, HEADER_LEN).is_none(),
+                "bit flip at {pos} must not decode as committed"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_yields_the_committed_prefix() {
+        let mut buf = encode_header(1, 5);
+        for v in 1..=3u64 {
+            encode_record(&mut buf, &record(9, v, &vec![v as u8; 10 * v as usize]));
+        }
+        let (records, end, kind) = scan_segment(&buf);
+        assert_eq!(kind, ScanEnd::Clean);
+        assert_eq!(end, buf.len());
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].0, HEADER_LEN as u64);
+        assert_eq!(records.iter().map(|(_, r)| r.version).collect::<Vec<_>>(), vec![1, 2, 3]);
+
+        // Tear the last record: the first two survive, the scan reports
+        // the exact truncation point.
+        let torn = &buf[..buf.len() - 3];
+        let (records, end, kind) = scan_segment(torn);
+        assert_eq!(kind, ScanEnd::Torn);
+        assert_eq!(records.len(), 2);
+        let committed = (records[1].0 as usize) + records[1].1.encoded_len();
+        assert_eq!(end, committed);
+    }
+}

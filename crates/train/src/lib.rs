@@ -28,6 +28,10 @@
 //!   path, so serving continues while the fleet retrains.
 //! * [`report`] — throughput (models/s vs. worker count), audit
 //!   pass/escalate/exhaust counts and end-to-end enroll latency.
+//! * [`rollback`] — the durable registry as an operational tool: a
+//!   fleet-wide bad publication is canary-detected and rolled back to
+//!   the prior retained version over contended links while queries keep
+//!   flowing, with the staleness window measured on the virtual clock.
 //! * [`network`] — replays a pipeline run through the [`pelican_sim`]
 //!   discrete-event simulator: downloads overlap training across the
 //!   fleet, uploads queue on a shared uplink, stragglers straggle, and
@@ -80,6 +84,7 @@ pub mod network;
 pub mod pipeline;
 pub mod pool;
 pub mod report;
+pub mod rollback;
 
 pub use audit::{AuditConfig, AuditGate, AuditSubject, GateOutcome, GateVerdict};
 pub use cosim::{cosimulate_fleet, CosimReport, LoopMode, Publication, RoundRecord};
@@ -90,3 +95,4 @@ pub use network::{
 pub use pipeline::{run_pipeline, FleetTrainer, PipelineConfig};
 pub use pool::{user_seed, TrainerPool};
 pub use report::{JobOutcome, TrainReport};
+pub use rollback::{run_rollback_study, RollbackConfig, RollbackOutcome, RollbackReport};

@@ -1,0 +1,556 @@
+//! Live rollback under traffic: the durable registry's version history
+//! as an *operational* tool, measured on the simulation's virtual clock.
+//!
+//! The scenario reproduces the fleet operator's worst Tuesday. Every
+//! user's personalized model is published (v1) through a store-backed
+//! [`ShardedRegistry`], and queries flow continuously. At a known
+//! virtual instant a fleet-wide re-publication goes out with an
+//! over-aggressive noise postprocess — the models still decode and
+//! serve, but their top-1 answers are wrong (exactly the failure mode a
+//! type-check can't catch). A canary probe running on a timer compares
+//! served top-1 answers against a held-back v1 reference; when
+//! agreement drops below the floor, the operator pushes the prior
+//! envelope back to every serving replica over one **contended** egress
+//! link, and each push completion triggers
+//! [`ShardedRegistry::rollback`] — re-publishing the retained v1 bytes
+//! under a fresh monotone version. Queries keep flowing the whole time.
+//!
+//! The quantity of interest is the **staleness window**: the span from
+//! detection to the last replica swap, which the shared egress link
+//! stretches as pushes queue behind each other. [`RollbackReport`]
+//! carries that window, the degraded-answer counts before/after, the
+//! push queueing percentiles, and the run's determinism fingerprint.
+//!
+//! Everything is deterministic: models, probes, the regression noise,
+//! and the event schedule are pure functions of [`RollbackConfig`].
+
+use std::sync::Arc;
+
+use pelican_nn::{Postprocess, SequenceModel, Step};
+use pelican_serve::{RegistryConfig, ShardedRegistry};
+use pelican_sim::{
+    mix64, stage_stats, Discipline, JobReport, JobSpec, LinkProfile, LinkSpec, RetryPolicy,
+    SimControl, Simulator, Stage, TransferPolicy, Workload,
+};
+use pelican_store::{EnvelopeStore, MemBackend, StoreConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Job-id namespacing: kind in the top byte, payload below (the same
+/// convention as `pelican_serve::simserve` and `pelican_train::cosim`).
+const KIND_SHIFT: u32 = 56;
+const KIND_QUERY: u64 = 1;
+const KIND_REGRESS: u64 = 2;
+const KIND_CANARY: u64 = 3;
+const KIND_PUSH: u64 = 4;
+const PAYLOAD_MASK: u64 = (1 << KIND_SHIFT) - 1;
+
+fn job_id(kind: u64, payload: u64) -> u64 {
+    debug_assert!(payload <= PAYLOAD_MASK);
+    (kind << KIND_SHIFT) | payload
+}
+
+/// The answer a client acts on: argmax of the *served confidences*
+/// (`predict_proba`), which is where the postprocess applies — a raw
+/// top-k over logits would never see the regression. Ties break to the
+/// lowest class, deterministically.
+fn served_top1(model: &SequenceModel, probe: &[Step]) -> usize {
+    let probs = model.predict_proba(probe);
+    let mut best = 0;
+    for (i, p) in probs.iter().enumerate() {
+        if *p > probs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Everything that shapes one rollback study. All fields feed the
+/// deterministic schedule; two runs with equal configs produce equal
+/// [`RollbackReport`]s, fingerprint included.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RollbackConfig {
+    /// Fleet size (one personalized model per user).
+    pub users: usize,
+    /// Registry/store shard count.
+    pub shards: usize,
+    /// Sigma of the Gaussian noise the bad publication applies to the
+    /// output distribution — large enough to scramble top-1 answers.
+    pub regression_sigma: f32,
+    /// Virtual instant the regressed fleet publication lands (µs).
+    pub regress_at_us: u64,
+    /// Canary probe cadence (µs); the first canary fires one interval in.
+    pub canary_interval_us: u64,
+    /// Detection threshold: rollback triggers when served-vs-reference
+    /// top-1 agreement drops below this fraction.
+    pub canary_agreement_floor: f64,
+    /// Probe sequences per user in the canary set.
+    pub canary_probes: usize,
+    /// Total query jobs; user `i % users` is queried at `i * gap`.
+    pub queries: usize,
+    /// Inter-query gap (µs). `queries * query_gap_us` is also the
+    /// horizon past which an undetected regression stops the canary.
+    pub query_gap_us: u64,
+    /// Serve-side compute occupancy per query (µs).
+    pub query_compute_us: u64,
+    /// Bytes of one rollback push (envelope + transport framing).
+    pub push_bytes: u64,
+    /// The one shared egress path every push contends on.
+    pub egress: LinkProfile,
+    /// How concurrent pushes share the egress link. FIFO serializes the
+    /// fleet (the widest staleness window); fair-share drains all
+    /// replicas together.
+    pub egress_discipline: Discipline,
+    /// Compress envelope payloads in the durable log.
+    pub compress_log: bool,
+    /// Master seed for models, probes and the regression noise.
+    pub seed: u64,
+}
+
+impl Default for RollbackConfig {
+    fn default() -> Self {
+        Self {
+            users: 10,
+            shards: 4,
+            regression_sigma: 2.5,
+            regress_at_us: 37_000,
+            canary_interval_us: 20_000,
+            canary_agreement_floor: 0.9,
+            canary_probes: 4,
+            queries: 600,
+            query_gap_us: 1_500,
+            query_compute_us: 200,
+            push_bytes: 64 * 1024,
+            egress: LinkProfile::wan(),
+            egress_discipline: Discipline::Fifo,
+            compress_log: false,
+            seed: 0x0711,
+        }
+    }
+}
+
+/// What one rollback-under-traffic run measured, all times virtual (µs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollbackReport {
+    /// Fleet size.
+    pub users: usize,
+    /// When the regressed publication landed.
+    pub regress_at_us: u64,
+    /// When the canary crossed the agreement floor.
+    pub detected_at_us: u64,
+    /// Detection lag: `detected_at_us - regress_at_us`.
+    pub detection_lag_us: u64,
+    /// Served-vs-reference top-1 agreement at the detecting canary.
+    pub agreement_at_detection: f64,
+    /// First replica swapped back (rollback publication visible).
+    pub first_swap_us: u64,
+    /// Last replica swapped back.
+    pub last_swap_us: u64,
+    /// The staleness window: `last_swap_us - detected_at_us`. This is
+    /// what the contended egress link stretches.
+    pub staleness_us: u64,
+    /// Full degraded exposure: `last_swap_us - regress_at_us`.
+    pub exposure_us: u64,
+    /// p95 queueing delay of the rollback pushes on the shared link.
+    pub push_wait_p95_us: u64,
+    /// Queries served over the whole run.
+    pub queries_total: usize,
+    /// Queries whose top-1 differed from the v1 reference.
+    pub queries_degraded: usize,
+    /// Degraded answers served *after* the user's replica swapped —
+    /// must be zero: rollback restores exact v1 behavior.
+    pub queries_degraded_after_swap: usize,
+    /// Publications the registry accepted (v1 fleet + regression +
+    /// rollbacks).
+    pub publishes: u64,
+    /// Rollback publications among them.
+    pub rollbacks: u64,
+    /// Versions retained in the durable log (full history: the
+    /// regression stays on disk for the post-mortem).
+    pub history_total: u64,
+    /// Determinism fingerprint of the simulation trace.
+    pub fingerprint: u64,
+}
+
+impl RollbackReport {
+    /// Human-readable study summary (the `store-report` experiment's
+    /// rollback section).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "rollback under traffic: {} users, regression at {} us\n",
+            self.users, self.regress_at_us
+        ));
+        out.push_str(&format!(
+            "  detected at {} us (lag {} us, canary agreement {:.3})\n",
+            self.detected_at_us, self.detection_lag_us, self.agreement_at_detection
+        ));
+        out.push_str(&format!(
+            "  swaps {} .. {} us | staleness window {} us | exposure {} us\n",
+            self.first_swap_us, self.last_swap_us, self.staleness_us, self.exposure_us
+        ));
+        out.push_str(&format!("  push wait p95 {} us\n", self.push_wait_p95_us));
+        out.push_str(&format!(
+            "  queries: {} total, {} degraded, {} degraded after swap\n",
+            self.queries_total, self.queries_degraded, self.queries_degraded_after_swap
+        ));
+        out.push_str(&format!(
+            "  log: {} publishes ({} rollbacks), {} versions retained\n",
+            self.publishes, self.rollbacks, self.history_total
+        ));
+        out.push_str(&format!("  fingerprint {:#018x}\n", self.fingerprint));
+        out
+    }
+}
+
+/// A finished study: the report plus the live registry and its backing
+/// "disk", so callers (and tests) can keep serving, restart the store
+/// over the same bytes, or inspect retained history.
+pub struct RollbackOutcome {
+    /// The measurements.
+    pub report: RollbackReport,
+    /// The registry as the run left it (every user on a rolled-back
+    /// version newer than the regression).
+    pub registry: ShardedRegistry,
+    /// The in-memory backend holding the durable log; `clone()` shares
+    /// the same bytes, so reopening a store over it is a kill-free
+    /// restart.
+    pub disk: MemBackend,
+    /// The v1 reference models, index = user.
+    pub reference: Vec<SequenceModel>,
+    /// The probe set the canary and queries used.
+    pub probes: Vec<Vec<Step>>,
+}
+
+/// The reactive workload driving the study on the virtual clock.
+struct RollbackFlow<'a> {
+    cfg: &'a RollbackConfig,
+    registry: &'a ShardedRegistry,
+    bad: &'a [SequenceModel],
+    v1: &'a [u64],
+    probes: &'a [Vec<Step>],
+    /// `good_top1[user][probe]`: the v1 reference answers.
+    good_top1: &'a [Vec<usize>],
+    horizon_us: u64,
+    detected_at: Option<u64>,
+    agreement_at_detection: f64,
+    /// Per-user swap completion time, once rolled back.
+    swaps: Vec<Option<u64>>,
+    /// `(end_us, user, degraded)` per served query.
+    query_log: Vec<(u64, usize, bool)>,
+}
+
+impl RollbackFlow<'_> {
+    /// Served-vs-reference top-1 agreement across the canary set.
+    fn canary_agreement(&self) -> f64 {
+        let mut matches = 0usize;
+        let mut total = 0usize;
+        for user in 0..self.cfg.users {
+            let (served, _) = self.registry.get(user).expect("published envelopes decode");
+            for (p, probe) in self.probes.iter().enumerate() {
+                total += 1;
+                if served_top1(&served, probe) == self.good_top1[user][p] {
+                    matches += 1;
+                }
+            }
+        }
+        matches as f64 / total.max(1) as f64
+    }
+
+    fn submit_canary(&self, tick: u64, at: u64, sim: &mut SimControl) {
+        sim.submit(JobSpec { id: job_id(KIND_CANARY, tick), release_us: at, stages: Vec::new() });
+    }
+}
+
+impl Workload for RollbackFlow<'_> {
+    fn on_job_end(&mut self, job: &JobReport, sim: &mut SimControl) {
+        let kind = job.id >> KIND_SHIFT;
+        let payload = job.id & PAYLOAD_MASK;
+        match kind {
+            KIND_QUERY => {
+                let user = payload as usize % self.cfg.users;
+                let probe_idx = payload as usize % self.probes.len();
+                let (served, _) = self.registry.get(user).expect("published envelopes decode");
+                let answer = served_top1(&served, &self.probes[probe_idx]);
+                let degraded = answer != self.good_top1[user][probe_idx];
+                self.query_log.push((job.end_us, user, degraded));
+            }
+            KIND_REGRESS => {
+                // The bad fleet publication: every user re-published with
+                // the over-noised postprocess, through the same durable
+                // path as any legitimate update.
+                for (user, model) in self.bad.iter().enumerate() {
+                    self.registry.enroll(user, model);
+                }
+            }
+            KIND_CANARY => {
+                if self.detected_at.is_some() {
+                    return;
+                }
+                let agreement = self.canary_agreement();
+                if agreement < self.cfg.canary_agreement_floor {
+                    self.detected_at = Some(job.end_us);
+                    self.agreement_at_detection = agreement;
+                    // Push the prior envelope to every replica over the
+                    // one shared egress link — this is where contention
+                    // stretches the staleness window.
+                    for user in 0..self.cfg.users {
+                        sim.submit(JobSpec {
+                            id: job_id(KIND_PUSH, user as u64),
+                            release_us: job.end_us,
+                            stages: vec![Stage::Transfer {
+                                label: "rollback-push",
+                                link: 0,
+                                bytes: self.cfg.push_bytes,
+                                policy: TransferPolicy {
+                                    timeout_us: None,
+                                    retry: RetryPolicy::none(),
+                                },
+                            }],
+                        });
+                    }
+                } else if job.end_us + self.cfg.canary_interval_us <= self.horizon_us {
+                    self.submit_canary(payload + 1, job.end_us + self.cfg.canary_interval_us, sim);
+                }
+            }
+            KIND_PUSH => {
+                let user = payload as usize;
+                self.registry
+                    .rollback(user, self.v1[user])
+                    .expect("v1 is retained in the durable log");
+                self.swaps[user] = Some(job.end_us);
+            }
+            _ => unreachable!("unknown job kind {kind}"),
+        }
+    }
+}
+
+/// Runs the rollback-under-traffic study.
+///
+/// # Panics
+///
+/// Panics if the canary never detects the regression before the query
+/// horizon (an agreement floor below the scrambled-answer baseline), or
+/// if any configured count is zero.
+pub fn run_rollback_study(cfg: &RollbackConfig) -> RollbackOutcome {
+    assert!(cfg.users > 0 && cfg.queries > 0 && cfg.canary_probes > 0, "empty study");
+
+    // The durable tier: store-backed registry, v1 fleet published
+    // through the write-ahead log before traffic starts.
+    let disk = MemBackend::new();
+    let store = EnvelopeStore::open(
+        Arc::new(disk.clone()),
+        StoreConfig { shards: cfg.shards, compress: cfg.compress_log, ..StoreConfig::default() },
+    )
+    .expect("fresh backend opens");
+    let registry = ShardedRegistry::with_store(
+        reference_model(cfg.seed, 0),
+        RegistryConfig { shards: cfg.shards, hot_capacity: (cfg.users / 2).max(2) },
+        Arc::new(store),
+    );
+
+    let reference: Vec<SequenceModel> =
+        (0..cfg.users).map(|u| reference_model(cfg.seed, u as u64 + 1)).collect();
+    let v1: Vec<u64> = reference.iter().enumerate().map(|(u, m)| registry.enroll(u, m)).collect();
+
+    // The regressed variants: same weights, scrambling postprocess.
+    let bad: Vec<SequenceModel> = reference
+        .iter()
+        .enumerate()
+        .map(|(u, m)| {
+            let mut bad = m.clone();
+            bad.set_postprocess(Postprocess::GaussianNoise {
+                sigma: cfg.regression_sigma,
+                seed: mix64(cfg.seed ^ (u as u64).wrapping_mul(0x9E37)),
+            });
+            bad
+        })
+        .collect();
+
+    // Deterministic probe set and the v1 reference answers.
+    let probes: Vec<Vec<Step>> = (0..cfg.canary_probes)
+        .map(|p| {
+            (0..2)
+                .map(|s| {
+                    (0..3)
+                        .map(|d| {
+                            let h = mix64(cfg.seed ^ ((p * 64 + s * 8 + d) as u64 | 1 << 40));
+                            (h >> 40) as f32 / (1u64 << 24) as f32
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let good_top1: Vec<Vec<usize>> =
+        reference.iter().map(|m| probes.iter().map(|p| served_top1(m, p)).collect()).collect();
+
+    // The schedule: queries at a fixed cadence, the regression drop, and
+    // the first canary (later canaries chain off completed ones).
+    let mut initial: Vec<JobSpec> = (0..cfg.queries)
+        .map(|i| JobSpec {
+            id: job_id(KIND_QUERY, i as u64),
+            release_us: i as u64 * cfg.query_gap_us,
+            stages: vec![Stage::Compute { label: "query", duration_us: cfg.query_compute_us }],
+        })
+        .collect();
+    initial.push(JobSpec {
+        id: job_id(KIND_REGRESS, 0),
+        release_us: cfg.regress_at_us,
+        stages: Vec::new(),
+    });
+    initial.push(JobSpec {
+        id: job_id(KIND_CANARY, 0),
+        release_us: cfg.canary_interval_us,
+        stages: Vec::new(),
+    });
+
+    let sim = Simulator::builder()
+        .links([LinkSpec { profile: cfg.egress, discipline: cfg.egress_discipline }])
+        .build();
+    let mut flow = RollbackFlow {
+        cfg,
+        registry: &registry,
+        bad: &bad,
+        v1: &v1,
+        probes: &probes,
+        good_top1: &good_top1,
+        horizon_us: cfg.queries as u64 * cfg.query_gap_us,
+        detected_at: None,
+        agreement_at_detection: 1.0,
+        swaps: vec![None; cfg.users],
+        query_log: Vec::with_capacity(cfg.queries),
+    };
+    let outcome = sim.run(&initial, &mut flow);
+
+    let detected_at_us =
+        flow.detected_at.expect("canary must detect the regression before the query horizon");
+    let swap_times: Vec<u64> =
+        flow.swaps.iter().map(|s| s.expect("every replica rolled back")).collect();
+    let first_swap_us = *swap_times.iter().min().expect("users > 0");
+    let last_swap_us = *swap_times.iter().max().expect("users > 0");
+
+    let queries_degraded = flow.query_log.iter().filter(|(_, _, d)| *d).count();
+    let queries_degraded_after_swap = flow
+        .query_log
+        .iter()
+        .filter(|(end, user, degraded)| *degraded && *end > swap_times[*user])
+        .count();
+
+    let stats = registry.stats();
+    let report = RollbackReport {
+        users: cfg.users,
+        regress_at_us: cfg.regress_at_us,
+        detected_at_us,
+        detection_lag_us: detected_at_us - cfg.regress_at_us,
+        agreement_at_detection: flow.agreement_at_detection,
+        first_swap_us,
+        last_swap_us,
+        staleness_us: last_swap_us - detected_at_us,
+        exposure_us: last_swap_us - cfg.regress_at_us,
+        push_wait_p95_us: stage_stats(&outcome, "rollback-push").wait_p95_us,
+        queries_total: flow.query_log.len(),
+        queries_degraded,
+        queries_degraded_after_swap,
+        publishes: stats.publishes,
+        rollbacks: stats.rollbacks,
+        history_total: stats.history_total(),
+        fingerprint: outcome.fingerprint(),
+    };
+    RollbackOutcome { report, registry, disk, reference, probes }
+}
+
+/// User `u`'s deterministic v1 model (`u == 0` is the fleet fallback).
+fn reference_model(seed: u64, u: u64) -> SequenceModel {
+    let mut rng = StdRng::seed_from_u64(mix64(seed.wrapping_add(u)));
+    SequenceModel::single_lstm(3, 4, 5, 0.0, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelican_store::StorageBackend;
+
+    #[test]
+    fn the_study_is_deterministic() {
+        let cfg = RollbackConfig { users: 6, queries: 300, ..RollbackConfig::default() };
+        let a = run_rollback_study(&cfg);
+        let b = run_rollback_study(&cfg);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.report.fingerprint, b.report.fingerprint);
+    }
+
+    #[test]
+    fn the_staleness_window_is_ordered_and_paid_for() {
+        let out = run_rollback_study(&RollbackConfig::default());
+        let r = &out.report;
+        assert!(r.regress_at_us < r.detected_at_us, "detection follows the regression");
+        assert!(r.detected_at_us < r.first_swap_us, "pushes take link time");
+        assert!(r.first_swap_us < r.last_swap_us, "FIFO pushes serialize");
+        assert_eq!(r.staleness_us, r.last_swap_us - r.detected_at_us);
+        assert!(r.staleness_us > 0);
+        assert!(r.push_wait_p95_us > 0, "the shared egress link queues");
+        assert!(r.queries_degraded > 0, "the regression was user-visible");
+        assert_eq!(r.queries_degraded_after_swap, 0, "rollback restores v1 behavior");
+        assert_eq!(r.rollbacks, r.users as u64);
+        // v1 fleet + regression + rollbacks, all retained in the log.
+        assert_eq!(r.publishes, 3 * r.users as u64);
+        assert_eq!(r.history_total, r.publishes);
+    }
+
+    #[test]
+    fn fatter_pushes_stretch_the_staleness_window() {
+        let slim = run_rollback_study(&RollbackConfig::default()).report;
+        let fat = run_rollback_study(&RollbackConfig {
+            push_bytes: 4 * RollbackConfig::default().push_bytes,
+            ..RollbackConfig::default()
+        })
+        .report;
+        assert!(
+            fat.staleness_us > slim.staleness_us,
+            "4x push bytes must widen the window: {} vs {}",
+            fat.staleness_us,
+            slim.staleness_us
+        );
+    }
+
+    #[test]
+    fn rolled_back_serving_matches_v1_and_survives_a_restart() {
+        let cfg = RollbackConfig { users: 5, queries: 300, ..RollbackConfig::default() };
+        let out = run_rollback_study(&cfg);
+
+        // Live registry: every user answers exactly like their v1 model
+        // again, under a version newer than the regression's.
+        for (user, reference) in out.reference.iter().enumerate() {
+            let (served, _) = out.registry.get(user).unwrap();
+            for probe in &out.probes {
+                assert_eq!(served.predict_proba(probe), reference.predict_proba(probe));
+            }
+            // v1 fleet (users) + bad fleet (users) precede any rollback.
+            assert!(out.registry.version_of(user).unwrap() > 2 * cfg.users as u64);
+        }
+
+        // Kill-free restart over the same bytes: history (including the
+        // regression, for the post-mortem) and the rollback all survive.
+        let disk: &dyn StorageBackend = &out.disk;
+        assert!(disk.list().unwrap().iter().any(|n| n.ends_with(".plog")));
+        let store = EnvelopeStore::open(
+            Arc::new(out.disk.clone()),
+            StoreConfig { shards: cfg.shards, ..StoreConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(store.recovery().torn_segments, 0);
+        let reborn = ShardedRegistry::with_store(
+            out.registry.general().clone(),
+            RegistryConfig { shards: cfg.shards, hot_capacity: 4 },
+            Arc::new(store),
+        );
+        for (user, reference) in out.reference.iter().enumerate() {
+            assert_eq!(reborn.version_of(user), out.registry.version_of(user));
+            let (served, _) = reborn.get(user).unwrap();
+            for probe in &out.probes {
+                assert_eq!(served.predict_proba(probe), reference.predict_proba(probe));
+            }
+        }
+    }
+}
