@@ -41,6 +41,7 @@ fn synthetic_round(n: usize, salt: u64) -> TrainReport {
                 audits: 1,
                 queries: 10,
                 cached: 0,
+                cache_misses: 10,
             },
             fit: FitReport { epoch_losses: vec![0.5], steps: 4, samples_per_epoch: 4 },
             enroll_latency: Duration::from_millis(5),

@@ -14,6 +14,7 @@
 //! | [`cosim`] | closed-loop network/compute co-simulation: open vs. closed loops, width invariance, sim-driven scheduler fidelity (beyond the paper) |
 //! | [`sim_scale`] | sim-core scaling: timer-wheel events/sec, memory and shard invariance at 10⁴–10⁶ devices (beyond the paper) |
 //! | [`store`] | durable model store: log throughput, crash-recovery probe, rollback-under-traffic staleness (beyond the paper) |
+//! | [`live`] | streaming personalization loop: retrain latency/staleness, width invariance, zero-cost re-audits (beyond the paper) |
 //!
 //! Every experiment registers in the [`Experiment`] registry:
 //! [`experiments`] enumerates them (driving `repro --list`) and
@@ -24,6 +25,7 @@ pub mod adversaries;
 pub mod attack_methods;
 pub mod cosim;
 pub mod defense;
+pub mod live;
 pub mod network;
 pub mod personalization;
 pub mod serving;
@@ -171,6 +173,12 @@ static REGISTRY: &[Entry] = &[
         description:
             "durable model store: log throughput, crash-recovery probe, rollback staleness",
         run: run_store_report,
+    },
+    Entry {
+        name: "live-report",
+        description:
+            "streaming personalization loop: width invariance, retrain latency, free re-audits",
+        run: run_live_report,
     },
     Entry {
         name: "ablate-defenses",
@@ -363,6 +371,23 @@ fn run_sim_scale(config: &RunConfig) {
     match std::fs::write("BENCH_sim_scale.json", &json) {
         Ok(()) => println!("wrote BENCH_sim_scale.json"),
         Err(e) => eprintln!("could not write BENCH_sim_scale.json: {e}"),
+    }
+}
+
+fn run_live_report(config: &RunConfig) {
+    banner("Live loop — streaming personalization on the virtual clock", config);
+    let run = live::run(config);
+    println!(
+        "fingerprints bit-identical across {:?}-worker pools; re-audit sweeps ran zero \
+         forward passes;\nquiescent case reduced byte-for-byte to the one-shot pipeline\n",
+        live::WIDTHS,
+    );
+    println!("{}", live::table(&run).render());
+    print!("{}", run.outcome.render());
+    let json = live::to_json(&run);
+    match std::fs::write("BENCH_live_loop.json", &json) {
+        Ok(()) => println!("wrote BENCH_live_loop.json"),
+        Err(e) => eprintln!("could not write BENCH_live_loop.json: {e}"),
     }
 }
 

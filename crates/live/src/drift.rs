@@ -1,0 +1,230 @@
+//! Per-user drift detection: when does a published model go stale?
+//!
+//! Every served query doubles as a labeled sample — the user's *next*
+//! session reveals the location the model should have predicted. The
+//! [`DriftDetector`] accumulates those fresh samples and scores the
+//! user's currently published model against them; when the score crosses
+//! the configured threshold the live loop schedules an incremental
+//! warm-start re-train. Detection is a pure function of the observed
+//! sample prefix and the published weights — no wall clock, no
+//! randomness — so the same seeded event stream always produces the same
+//! retrain schedule, bit-identical for any trainer-pool width.
+
+use pelican_nn::loss::softmax_cross_entropy;
+use pelican_nn::{Sample, SequenceModel};
+
+/// How staleness is scored over the fresh-sample window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftMetric {
+    /// Mean softmax cross-entropy of the published model on the window;
+    /// drift fires when it exceeds `max_loss`.
+    Loss {
+        /// Loss ceiling (nats).
+        max_loss: f64,
+    },
+    /// Fraction of window samples whose true next location appears in
+    /// the published model's top-k; drift fires when the agreement falls
+    /// below `min_agreement`. Temperature defenses preserve logit order,
+    /// so this metric sees through the deployed defense to the weights.
+    TopKAgreement {
+        /// The k of the top-k check.
+        k: usize,
+        /// Agreement floor (fraction in `[0, 1]`; above 1 the trigger
+        /// fires on every evaluation — the "always retrain" stress knob).
+        min_agreement: f64,
+    },
+}
+
+/// Drift-trigger knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// The staleness score.
+    pub metric: DriftMetric,
+    /// Fresh samples a user must accumulate since their last re-train
+    /// before the metric is evaluated at all (evaluation cost gate and
+    /// minimum re-train batch).
+    pub min_new_samples: usize,
+    /// The metric scores at most this many of the newest fresh samples.
+    pub window: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            metric: DriftMetric::TopKAgreement { k: 1, min_agreement: 0.99 },
+            min_new_samples: 4,
+            window: 8,
+        }
+    }
+}
+
+/// One evaluation of the drift metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftScore {
+    /// The metric's value over the window (loss in nats, or agreement
+    /// fraction).
+    pub score: f64,
+    /// Whether the trigger fired.
+    pub drifted: bool,
+}
+
+/// One user's drift state: the fresh samples accumulated since their
+/// last re-train.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    config: DriftConfig,
+    fresh: Vec<Sample>,
+}
+
+impl DriftDetector {
+    /// A detector with no fresh samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is zero (an empty window scores nothing).
+    pub fn new(config: DriftConfig) -> Self {
+        assert!(config.window > 0, "drift window must be positive");
+        Self { config, fresh: Vec::new() }
+    }
+
+    /// The detector's configuration.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Records one fresh sample (a served query joined with the user's
+    /// revealed next location).
+    pub fn observe(&mut self, sample: Sample) {
+        self.fresh.push(sample);
+    }
+
+    /// Fresh samples accumulated since the last [`DriftDetector::drain`].
+    pub fn fresh_count(&self) -> usize {
+        self.fresh.len()
+    }
+
+    /// Scores `model` on the newest window of fresh samples. Returns
+    /// `None` while fewer than `min_new_samples` have accumulated. Pure:
+    /// evaluating never consumes samples, so the score is a function of
+    /// the observed prefix only — re-evaluating at any cadence yields
+    /// the same answers at the same prefixes.
+    pub fn evaluate(&self, model: &SequenceModel) -> Option<DriftScore> {
+        if self.fresh.len() < self.config.min_new_samples.max(1) {
+            return None;
+        }
+        let window = &self.fresh[self.fresh.len().saturating_sub(self.config.window)..];
+        let (score, drifted) = match self.config.metric {
+            DriftMetric::Loss { max_loss } => {
+                let total: f64 = window
+                    .iter()
+                    .map(|s| f64::from(softmax_cross_entropy(&model.logits(&s.xs), s.target).0))
+                    .sum();
+                let mean = total / window.len() as f64;
+                (mean, mean > max_loss)
+            }
+            DriftMetric::TopKAgreement { k, min_agreement } => {
+                let agree = window
+                    .iter()
+                    .filter(|s| model.predict_top_k(&s.xs, k).contains(&s.target))
+                    .count();
+                let frac = agree as f64 / window.len() as f64;
+                (frac, frac < min_agreement)
+            }
+        };
+        Some(DriftScore { score, drifted })
+    }
+
+    /// Hands the accumulated fresh samples to a re-train and resets the
+    /// trigger: the next evaluation waits for `min_new_samples` again.
+    pub fn drain(&mut self) -> Vec<Sample> {
+        std::mem::take(&mut self.fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(seed: u64) -> SequenceModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SequenceModel::single_lstm(4, 6, 3, 0.0, &mut rng)
+    }
+
+    fn sample(i: usize) -> Sample {
+        let fill = (i % 7) as f32 * 0.13;
+        Sample { xs: vec![vec![fill; 4]; 2], target: i % 3 }
+    }
+
+    #[test]
+    fn evaluation_waits_for_min_new_samples_then_is_pure() {
+        let config = DriftConfig { min_new_samples: 3, ..DriftConfig::default() };
+        let mut det = DriftDetector::new(config);
+        let m = model(1);
+        det.observe(sample(0));
+        det.observe(sample(1));
+        assert_eq!(det.evaluate(&m), None, "below min_new_samples");
+        det.observe(sample(2));
+        let first = det.evaluate(&m).expect("threshold reached");
+        assert_eq!(det.evaluate(&m), Some(first), "evaluation consumes nothing");
+        assert_eq!(det.fresh_count(), 3);
+    }
+
+    #[test]
+    fn drain_resets_the_trigger() {
+        let mut det = DriftDetector::new(DriftConfig { min_new_samples: 2, ..Default::default() });
+        let m = model(2);
+        det.observe(sample(0));
+        det.observe(sample(1));
+        assert!(det.evaluate(&m).is_some());
+        let drained = det.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(det.fresh_count(), 0);
+        assert_eq!(det.evaluate(&m), None, "a re-train restarts the accumulation");
+    }
+
+    #[test]
+    fn impossible_agreement_floor_always_fires_and_perfect_loss_never_does() {
+        let m = model(3);
+        let fire_all = DriftConfig {
+            metric: DriftMetric::TopKAgreement { k: 1, min_agreement: 1.01 },
+            min_new_samples: 1,
+            window: 4,
+        };
+        let mut det = DriftDetector::new(fire_all);
+        det.observe(sample(0));
+        assert!(det.evaluate(&m).unwrap().drifted, "agreement can never reach 1.01");
+
+        let never = DriftConfig {
+            metric: DriftMetric::Loss { max_loss: f64::INFINITY },
+            min_new_samples: 1,
+            window: 4,
+        };
+        let mut det = DriftDetector::new(never);
+        det.observe(sample(0));
+        let score = det.evaluate(&m).unwrap();
+        assert!(!score.drifted, "finite loss never exceeds an infinite ceiling");
+        assert!(score.score.is_finite());
+    }
+
+    #[test]
+    fn window_limits_the_scored_suffix() {
+        // With window 2, only the newest two samples matter: a detector
+        // fed a long prefix scores the same as one fed just the suffix.
+        let m = model(4);
+        let config = DriftConfig {
+            metric: DriftMetric::Loss { max_loss: 0.0 },
+            min_new_samples: 1,
+            window: 2,
+        };
+        let mut long = DriftDetector::new(config);
+        for i in 0..10 {
+            long.observe(sample(i));
+        }
+        let mut short = DriftDetector::new(config);
+        short.observe(sample(8));
+        short.observe(sample(9));
+        assert_eq!(long.evaluate(&m).unwrap().score, short.evaluate(&m).unwrap().score);
+    }
+}

@@ -1,0 +1,744 @@
+//! The personalize-while-serve loop on one virtual clock.
+//!
+//! [`run_live`] composes four existing subsystems into a single reactive
+//! [`Workload`] on the simulator's event heap:
+//!
+//! 1. **Bootstrap** — the unmodified one-shot pipeline
+//!    ([`FleetTrainer::run`]) personalizes every user on their enrollment
+//!    window and publishes durably through the registry's write-ahead
+//!    store; each user's audit fills a warm [`LogitCache`].
+//! 2. **Serve** — post-enrollment sessions from the mobility generator
+//!    become query arrivals ([`MobilityTraffic`]) into the sim-driven
+//!    batch scheduler ([`serve_harness`]): diurnal rhythm, churn and
+//!    network jitter included. Every arrival doubles as a labeled drift
+//!    sample (the session's true location is the ground truth the
+//!    published model should have predicted).
+//! 3. **Re-train** — when a user's [`DriftDetector`] fires, a retrain
+//!    round timer collects marked users and dispatches warm-start jobs
+//!    on the work-stealing [`TrainerPool`]: fetch the published envelope
+//!    (and rollback target) from the durable store, re-train on the
+//!    fresh samples, re-audit through [`AuditGate::admit_with_cache`].
+//!    Each job's exact simulated device cost then occupies a shared
+//!    trainer resource on the event heap, so publication instants are on
+//!    the same clock the queries flow on.
+//! 4. **Publish / rollback** — passing candidates publish through the
+//!    registry's durable hot-swap path *while queries keep flowing*; a
+//!    candidate that regresses against its predecessor on the very
+//!    window that triggered it is reverted with
+//!    [`ShardedRegistry::rollback`]. When a round's last job lands, every
+//!    *unchanged* user is re-audited from their warm logit cache — zero
+//!    forward passes.
+//!
+//! Determinism: weights, verdicts, publication instants and the unified
+//! trace are bit-identical for any trainer-pool width (per-user seeds,
+//! job-order submission, width-invariant simulated durations). When no
+//! drift fires the loop schedules nothing — no timer, no job, no store
+//! write — and the run reduces exactly to bootstrap + serving.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use pelican::platform::{measure_thread, ComputeTier};
+use pelican_mobility::{train_test_split, FeatureSpace, MobilityDataset, Session, SessionCursor};
+use pelican_nn::{ModelCodecError, ModelEnvelope, Sample, SequenceModel};
+use pelican_serve::{
+    job_id, serve_harness, MobilityTraffic, MobilityTrafficConfig, Request, RollbackError,
+    ServeFlow, ServeHarness, ShardedRegistry, SimServeConfig, KIND_SHIFT,
+};
+use pelican_sim::{
+    JobReport, JobSpec, JobStatus, LinkProfile, LinkSpec, SimControl, Simulator, Stage,
+    TransferPolicy, Workload,
+};
+use pelican_store::StoreError;
+use pelican_train::{
+    AuditSubject, FleetTrainer, GateOutcome, JobKind, LogitCache, PipelineConfig, TrainJob,
+    TrainerPool,
+};
+
+use crate::drift::{DriftConfig, DriftDetector};
+use crate::report::{fnv64, LiveOutcome, ReauditStats, RetrainRecord};
+
+/// Job-id namespace of re-train occupancy jobs (the serving flow owns
+/// kinds 0–2); payloads are a monotone dispatch sequence, never reused.
+const KIND_RETRAIN: u64 = 8;
+
+/// Timer key of the retrain round — the serving flow's keys are shard
+/// indices, always below the shard count.
+const ROUND_KEY: u64 = u64::MAX;
+
+/// Everything one live run needs beyond the dataset and the registry.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Bootstrap pipeline and warm re-train knobs (pool width, per-user
+    /// seeds, personalization, audit gate).
+    pub pipeline: PipelineConfig,
+    /// Sim-driven serving knobs (scheduler, tier, optional network).
+    pub serve: SimServeConfig,
+    /// The per-user drift trigger.
+    pub drift: DriftConfig,
+    /// Virtual microseconds per trace minute (60 s/min replays the trace
+    /// in real time; smaller values compress it).
+    pub us_per_minute: u64,
+    /// Trace minutes consumed by the bootstrap pipeline; serving (and
+    /// drift accumulation) starts after this cutoff, at virtual time 0.
+    pub bootstrap_minutes: u64,
+    /// Trace minute the stream ends at.
+    pub horizon_minutes: u64,
+    /// Train/holdout split of the bootstrap window (the holdout stays
+    /// held out for every later re-audit).
+    pub train_fraction: f64,
+    /// Delay between a first drift mark and the round that serves it —
+    /// the batching window for coalescing multiple drifted users into
+    /// one pool dispatch.
+    pub round_interval_us: u64,
+    /// The safety net: a re-trained model may underperform its
+    /// predecessor's top-1 accuracy on the triggering window by at most
+    /// this much before the publication is rolled back.
+    pub rollback_tolerance: f64,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        Self {
+            pipeline: PipelineConfig::default(),
+            serve: SimServeConfig {
+                scheduler: pelican_serve::SchedulerConfig::default(),
+                tier: ComputeTier::Cloud,
+                network: None,
+            },
+            drift: DriftConfig::default(),
+            us_per_minute: 60_000_000,
+            bootstrap_minutes: 7 * 24 * 60,
+            horizon_minutes: 14 * 24 * 60,
+            train_fraction: 0.8,
+            round_interval_us: 300_000_000,
+            rollback_tolerance: 0.5,
+        }
+    }
+}
+
+/// Why a live run could not complete.
+#[derive(Debug)]
+pub enum LiveError {
+    /// A stored envelope failed to decode.
+    Codec(ModelCodecError),
+    /// The durable store failed an append or fetch.
+    Store(StoreError),
+    /// A safety-net rollback failed.
+    Rollback(RollbackError),
+    /// The registry has no durable store attached — the loop needs one
+    /// for warm-start fetches and rollback targets.
+    NoStore,
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::Codec(e) => write!(f, "envelope decode failed: {e}"),
+            LiveError::Store(e) => write!(f, "durable store failed: {e}"),
+            LiveError::Rollback(e) => write!(f, "rollback failed: {e}"),
+            LiveError::NoStore => write!(f, "live loop requires a store-backed registry"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+impl From<ModelCodecError> for LiveError {
+    fn from(e: ModelCodecError) -> Self {
+        LiveError::Codec(e)
+    }
+}
+
+impl From<StoreError> for LiveError {
+    fn from(e: StoreError) -> Self {
+        LiveError::Store(e)
+    }
+}
+
+impl From<RollbackError> for LiveError {
+    fn from(e: RollbackError) -> Self {
+        LiveError::Rollback(e)
+    }
+}
+
+/// Fresh personalization jobs over each user's *bootstrap window* —
+/// triples whose sessions all fall at or before `bootstrap_minutes` —
+/// split train/holdout like [`pelican_train::cohort_jobs`]. This is the
+/// cohort the quiescent live loop is equivalent to: feeding these jobs
+/// to [`pelican_train::run_pipeline`] publishes bit-identical envelopes.
+pub fn bootstrap_jobs(
+    dataset: &MobilityDataset,
+    users: Range<usize>,
+    config: &LiveConfig,
+) -> Vec<TrainJob> {
+    users
+        .filter_map(|user_id| {
+            let triples: Vec<[Session; 3]> = dataset.users[user_id]
+                .triples
+                .iter()
+                .filter(|t| t[2].absolute_entry() <= config.bootstrap_minutes)
+                .cloned()
+                .collect();
+            let (train_triples, holdout) = train_test_split(&triples, config.train_fraction);
+            let train: Vec<Sample> = train_triples.iter().map(|t| dataset.sample_of(t)).collect();
+            if train.is_empty() || holdout.is_empty() {
+                return None;
+            }
+            let history: Vec<Session> =
+                train_triples.iter().flat_map(|t| t.iter().copied()).collect();
+            Some(TrainJob {
+                user_id,
+                kind: JobKind::Fresh,
+                train,
+                subject: AuditSubject { history, holdout },
+            })
+        })
+        .collect()
+}
+
+/// The post-bootstrap event stream, precomputed host-side: one serving
+/// [`Request`] per session with two predecessors of context, plus — in
+/// lockstep — the drift sample (context → true next location) and the
+/// session itself. `requests[i]`, `samples[i]` and `sessions[i]` all
+/// describe the same event.
+#[derive(Debug, Clone)]
+pub struct LiveStream {
+    /// Query arrivals for the serving tier, ids dense from 0 in stream
+    /// order.
+    pub requests: Vec<Request>,
+    /// The labeled drift sample each arrival reveals.
+    pub samples: Vec<Sample>,
+    /// The underlying mobility session of each arrival.
+    pub sessions: Vec<Session>,
+}
+
+/// Builds the live event stream: every user's trace is resumed *after*
+/// the bootstrap window with a [`SessionCursor`] (context seeds from the
+/// window's tail), then all post-window sessions merge into one
+/// chronological arrival stream via [`MobilityTraffic`].
+pub fn live_stream(
+    dataset: &MobilityDataset,
+    users: Range<usize>,
+    config: &LiveConfig,
+) -> LiveStream {
+    let space = &dataset.space;
+    // Per-user context: the last two sessions of the bootstrap window,
+    // encoded — the first post-window query already has full context.
+    let mut context: HashMap<usize, Vec<Vec<f32>>> = HashMap::new();
+    for user_id in users.clone() {
+        let mut cursor = SessionCursor::from_trace(&dataset.users[user_id].trace);
+        cursor.resume_after(config.bootstrap_minutes);
+        let consumed = cursor.consumed();
+        let tail = &consumed[consumed.len().saturating_sub(2)..];
+        context.insert(user_id, tail.iter().map(|s| space.encode_session(s)).collect());
+    }
+
+    let traffic = MobilityTraffic::from_sessions(
+        users.flat_map(|u| dataset.users[u].trace.sessions.iter().copied()),
+        MobilityTrafficConfig {
+            us_per_minute: config.us_per_minute,
+            start_minute: config.bootstrap_minutes,
+            end_minute: config.horizon_minutes,
+        },
+    );
+
+    let mut stream = LiveStream { requests: Vec::new(), samples: Vec::new(), sessions: Vec::new() };
+    for (arrival, session) in traffic.arrivals().iter().zip(traffic.sessions()) {
+        let ctx = context.entry(session.user).or_default();
+        if ctx.len() >= 2 {
+            let xs: Vec<Vec<f32>> = ctx[ctx.len() - 2..].to_vec();
+            let id = stream.requests.len();
+            stream.requests.push(Request {
+                id,
+                user_id: session.user,
+                arrival_us: arrival.at_us,
+                xs: xs.clone(),
+            });
+            stream.samples.push(Sample { xs, target: space.location_of(session) });
+            stream.sessions.push(*session);
+        }
+        ctx.push(space.encode_session(session));
+        if ctx.len() > 2 {
+            ctx.drain(..ctx.len() - 2);
+        }
+    }
+    stream
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UserStatus {
+    Idle,
+    Marked,
+    Inflight,
+}
+
+/// One enrolled user's loop state.
+struct UserState {
+    /// The audit subject of the user's last admitted candidate (history
+    /// grows on successful re-trains; the holdout never changes).
+    subject: AuditSubject,
+    /// Logit cache keyed to the currently published weights.
+    cache: LogitCache,
+    detector: DriftDetector,
+    /// Sessions observed since the last successful re-train (history
+    /// growth for the next one).
+    live_sessions: Vec<Session>,
+    status: UserStatus,
+    /// Virtual time of the pending drift mark.
+    marked_us: u64,
+}
+
+/// What the round dispatched and the publication callback still needs.
+struct PendingRetrain {
+    user_id: usize,
+    marked_us: u64,
+    round_us: u64,
+    /// Rollback target: the version the warm envelope was fetched as.
+    prev_version: u64,
+    prior_model: SequenceModel,
+    published_model: SequenceModel,
+    envelope: ModelEnvelope,
+    gate: GateOutcome,
+    cache: LogitCache,
+    subject: AuditSubject,
+    /// The fresh window the re-train consumed (also the rollback
+    /// comparison set).
+    window: Vec<Sample>,
+    train_simulated_us: u64,
+    audit_simulated_us: u64,
+}
+
+/// One warm job's pool result.
+struct RetrainResult {
+    published_model: SequenceModel,
+    envelope: ModelEnvelope,
+    gate: GateOutcome,
+    cache: LogitCache,
+    train_simulated_us: u64,
+    audit_simulated_us: u64,
+}
+
+/// The composed workload: the serving flow plus the personalization loop.
+struct LiveFlow<'a> {
+    serve: ServeFlow<'a>,
+    registry: &'a ShardedRegistry,
+    space: &'a FeatureSpace,
+    trainer: &'a FleetTrainer,
+    config: &'a LiveConfig,
+    general_envelope: ModelEnvelope,
+    trainer_link: usize,
+    samples: &'a [Sample],
+    sessions: &'a [Session],
+    users: HashMap<usize, UserState>,
+    round_armed: bool,
+    inflight: usize,
+    next_seq: u64,
+    pending: HashMap<u64, PendingRetrain>,
+    round_published: Vec<usize>,
+    retrains: Vec<RetrainRecord>,
+    reaudit: ReauditStats,
+    drift_marks: u64,
+    error: Option<LiveError>,
+}
+
+impl LiveFlow<'_> {
+    /// Arms the round timer if no round is pending or running.
+    fn arm_round(&mut self, now: u64, sim: &mut SimControl) {
+        if !self.round_armed && self.inflight == 0 {
+            sim.set_timer(now + self.config.round_interval_us, ROUND_KEY);
+            self.round_armed = true;
+        }
+    }
+
+    /// A query reached the scheduler: its session is a fresh labeled
+    /// sample for the drift trigger.
+    fn observe_arrival(&mut self, id: usize, now: u64, sim: &mut SimControl) {
+        if self.error.is_some() {
+            return;
+        }
+        let session = self.sessions[id];
+        let Some(state) = self.users.get_mut(&session.user) else {
+            return; // never enrolled (empty bootstrap split) — served by fallback
+        };
+        state.live_sessions.push(session);
+        state.detector.observe(self.samples[id].clone());
+        if state.status != UserStatus::Idle {
+            return;
+        }
+        let model = match self.registry.get(session.user) {
+            Ok((model, _)) => model,
+            Err(e) => {
+                self.error = Some(e.into());
+                return;
+            }
+        };
+        let state = self.users.get_mut(&session.user).expect("checked above");
+        if let Some(score) = state.detector.evaluate(&model) {
+            if score.drifted {
+                state.status = UserStatus::Marked;
+                state.marked_us = now;
+                self.drift_marks += 1;
+                self.arm_round(now, sim);
+            }
+        }
+    }
+
+    /// The round timer fired: drain every marked user into one
+    /// warm-start dispatch on the trainer pool, then put each job's
+    /// simulated cost on the shared trainer resource.
+    fn retrain_round(&mut self, sim: &mut SimControl) {
+        self.round_armed = false;
+        if self.error.is_some() {
+            return;
+        }
+        let now = sim.now();
+        let mut marked: Vec<usize> = self
+            .users
+            .iter()
+            .filter(|(_, s)| s.status == UserStatus::Marked)
+            .map(|(&u, _)| u)
+            .collect();
+        marked.sort_unstable();
+        if marked.is_empty() {
+            return;
+        }
+        self.round_published.clear();
+
+        struct JobMeta {
+            user_id: usize,
+            marked_us: u64,
+            prev_version: u64,
+            prior_model: SequenceModel,
+            subject: AuditSubject,
+            window: Vec<Sample>,
+        }
+        let store = self.registry.store().expect("checked in run_live").clone();
+        let mut jobs: Vec<TrainJob> = Vec::with_capacity(marked.len());
+        let mut metas: Vec<JobMeta> = Vec::with_capacity(marked.len());
+        for &user_id in &marked {
+            let state = self.users.get_mut(&user_id).expect("marked users are enrolled");
+            state.status = UserStatus::Inflight;
+            let (prev_version, envelope) = match store.fetch_latest_with_version(user_id as u64) {
+                Ok(Some(found)) => found,
+                Ok(None) => {
+                    self.error = Some(LiveError::Store(StoreError::UnknownVersion {
+                        user: user_id as u64,
+                        version: 0,
+                    }));
+                    return;
+                }
+                Err(e) => {
+                    self.error = Some(e.into());
+                    return;
+                }
+            };
+            let prior_model = match envelope.decode() {
+                Ok(m) => m,
+                Err(e) => {
+                    self.error = Some(e.into());
+                    return;
+                }
+            };
+            let window = state.detector.drain();
+            let mut subject = state.subject.clone();
+            subject.history.extend(std::mem::take(&mut state.live_sessions));
+            jobs.push(TrainJob {
+                user_id,
+                kind: JobKind::WarmStart { envelope },
+                train: window.clone(),
+                subject: subject.clone(),
+            });
+            metas.push(JobMeta {
+                user_id,
+                marked_us: state.marked_us,
+                prev_version,
+                prior_model,
+                subject,
+                window,
+            });
+        }
+
+        // Host-side pool dispatch (virtual clock frozen): train and audit
+        // in parallel, collect in job order — weights, verdicts and the
+        // measured simulated durations are bit-identical for any width.
+        let trainer = self.trainer;
+        let space = self.space;
+        let general_envelope = &self.general_envelope;
+        let pool = TrainerPool::new(trainer.config().workers);
+        let results: Vec<RetrainResult> = pool.run(&jobs, |_, job| {
+            let ((candidate, _fit), train_usage) = measure_thread(ComputeTier::Device, || {
+                trainer.train_candidate(general_envelope, job)
+            });
+            let ((published, gate, cache), audit_usage) =
+                measure_thread(ComputeTier::Device, || {
+                    trainer.gate().admit_with_cache(candidate, space, &job.subject)
+                });
+            RetrainResult {
+                envelope: ModelEnvelope::encode(&published),
+                published_model: published,
+                gate,
+                cache,
+                train_simulated_us: train_usage.simulated.as_micros() as u64,
+                audit_simulated_us: audit_usage.simulated.as_micros() as u64,
+            }
+        });
+
+        // Each job's exact device cost occupies the shared trainer
+        // resource; publication happens when the occupancy ends.
+        for (meta, result) in metas.into_iter().zip(results) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            sim.submit(JobSpec {
+                id: job_id(KIND_RETRAIN, seq),
+                release_us: now,
+                stages: vec![Stage::Transfer {
+                    label: "retrain",
+                    link: self.trainer_link,
+                    bytes: result.train_simulated_us + result.audit_simulated_us,
+                    policy: TransferPolicy::default(),
+                }],
+            });
+            self.inflight += 1;
+            self.pending.insert(
+                seq,
+                PendingRetrain {
+                    user_id: meta.user_id,
+                    marked_us: meta.marked_us,
+                    round_us: now,
+                    prev_version: meta.prev_version,
+                    prior_model: meta.prior_model,
+                    published_model: result.published_model,
+                    envelope: result.envelope,
+                    gate: result.gate,
+                    cache: result.cache,
+                    subject: meta.subject,
+                    window: meta.window,
+                    train_simulated_us: result.train_simulated_us,
+                    audit_simulated_us: result.audit_simulated_us,
+                },
+            );
+        }
+    }
+
+    /// A re-train's trainer occupancy ended: publish durably (queries
+    /// keep flowing), apply the rollback safety net, and when the round
+    /// drains, re-audit every unchanged user from their warm cache.
+    fn publish_retrain(&mut self, seq: u64, now: u64, sim: &mut SimControl) {
+        self.inflight -= 1;
+        let Some(p) = self.pending.remove(&seq) else {
+            debug_assert!(false, "one occupancy job per dispatched re-train");
+            return;
+        };
+        if self.error.is_none() {
+            if let Err(e) = self.finish_publication(p, now) {
+                self.error = Some(e);
+            }
+        }
+        if self.inflight == 0 && self.error.is_none() {
+            if let Err(e) = self.reaudit_sweep() {
+                self.error = Some(e);
+            }
+            // Users that drifted while the round was in flight start the
+            // next one.
+            if self.users.values().any(|s| s.status == UserStatus::Marked) {
+                self.arm_round(now, sim);
+            }
+        }
+    }
+
+    fn finish_publication(&mut self, p: PendingRetrain, now: u64) -> Result<(), LiveError> {
+        // The safety net compares predecessor and successor on the very
+        // window that triggered the re-train (both deterministic model
+        // decodes — temperature defenses preserve top-1).
+        let prior_acc = top1_accuracy(&p.prior_model, &p.window);
+        let new_acc = top1_accuracy(&p.published_model, &p.window);
+        let rolled_back = new_acc + self.config.rollback_tolerance < prior_acc;
+
+        self.registry.try_enroll_envelope(p.user_id, p.envelope.clone())?;
+        let state = self.users.get_mut(&p.user_id).expect("pending users are enrolled");
+        if rolled_back {
+            // Revert to the fetched predecessor; the warm cache and
+            // subject still describe the (restored) published weights.
+            self.registry.rollback(p.user_id, p.prev_version)?;
+        } else {
+            state.subject = p.subject;
+            state.cache = p.cache;
+        }
+        state.status = UserStatus::Idle;
+        self.round_published.push(p.user_id);
+        self.retrains.push(RetrainRecord {
+            user_id: p.user_id,
+            detect_us: p.marked_us,
+            round_us: p.round_us,
+            publish_us: now,
+            train_simulated_us: p.train_simulated_us,
+            audit_simulated_us: p.audit_simulated_us,
+            gate: p.gate,
+            rolled_back,
+            envelope_bytes: p.envelope.len(),
+            envelope_hash: fnv64(p.envelope.as_bytes()),
+        });
+        Ok(())
+    }
+
+    /// Re-audits every user whose weights did not change this round —
+    /// their warm logit caches answer every oracle query, so the sweep
+    /// runs the full attack suite without a single forward pass.
+    fn reaudit_sweep(&mut self) -> Result<(), LiveError> {
+        let mut ids: Vec<usize> = self.users.keys().copied().collect();
+        ids.sort_unstable();
+        for user_id in ids {
+            if self.round_published.contains(&user_id) {
+                continue;
+            }
+            let model = self.registry.get(user_id)?.0;
+            let state = self.users.get_mut(&user_id).expect("iterating enrolled users");
+            let (hits, misses) = (state.cache.hits, state.cache.misses);
+            let eval = self.trainer.gate().audit_cached(
+                &model,
+                self.space,
+                &state.subject,
+                &mut state.cache,
+            );
+            self.reaudit.audits += 1;
+            self.reaudit.queries += eval.queries;
+            self.reaudit.hits += state.cache.hits - hits;
+            self.reaudit.misses += state.cache.misses - misses;
+        }
+        Ok(())
+    }
+}
+
+fn top1_accuracy(model: &SequenceModel, window: &[Sample]) -> f64 {
+    if window.is_empty() {
+        return 0.0;
+    }
+    let hits = window.iter().filter(|s| model.predict_top_k(&s.xs, 1).contains(&s.target)).count();
+    hits as f64 / window.len() as f64
+}
+
+impl Workload for LiveFlow<'_> {
+    fn on_job_end(&mut self, job: &JobReport, sim: &mut SimControl) {
+        if ServeFlow::handles(job.id) {
+            // An arriving query is also a fresh labeled sample; observe
+            // it before the scheduler buffers it, at the same instant.
+            let payload = (job.id & ((1 << KIND_SHIFT) - 1)) as usize;
+            if job.id >> KIND_SHIFT == 0 && job.status == JobStatus::Completed {
+                self.observe_arrival(payload, job.end_us, sim);
+            }
+            self.serve.on_job_end(job, sim);
+        } else {
+            debug_assert_eq!(job.id >> KIND_SHIFT, KIND_RETRAIN);
+            let seq = job.id & ((1 << KIND_SHIFT) - 1);
+            self.publish_retrain(seq, job.end_us, sim);
+        }
+    }
+
+    fn on_timer(&mut self, key: u64, sim: &mut SimControl) {
+        if key == ROUND_KEY {
+            self.retrain_round(sim);
+        } else {
+            self.serve.on_timer(key, sim);
+        }
+    }
+}
+
+/// Runs the full streaming loop: bootstrap, then serve-and-personalize
+/// over the post-bootstrap event stream. See the module docs for the
+/// phases; see [`LiveOutcome`] for what comes back.
+///
+/// # Errors
+///
+/// [`LiveError::NoStore`] when the registry has no durable store;
+/// otherwise codec/store/rollback failures surfaced from the loop.
+///
+/// # Panics
+///
+/// Panics on invalid configuration (zero workers, inconsistent audit
+/// gate, zero `max_batch` — the same contracts as the composed parts).
+pub fn run_live(
+    dataset: &MobilityDataset,
+    users: Range<usize>,
+    registry: &ShardedRegistry,
+    general: &SequenceModel,
+    config: &LiveConfig,
+) -> Result<LiveOutcome, LiveError> {
+    if registry.store().is_none() {
+        return Err(LiveError::NoStore);
+    }
+    let space = &dataset.space;
+    let trainer = FleetTrainer::new(config.pipeline.clone());
+
+    // Phase 1: the unmodified one-shot pipeline over the bootstrap
+    // window. With no drift this is the whole story — the quiescent loop
+    // publishes exactly these envelopes and nothing else.
+    let jobs = bootstrap_jobs(dataset, users.clone(), config);
+    let bootstrap = trainer.run(general, space, &jobs, registry);
+
+    // Warm each user's logit cache by re-auditing the published model
+    // once (host-side, no sim events, no store writes): after this,
+    // every re-audit of unchanged weights pays zero forward passes.
+    let mut states: HashMap<usize, UserState> = HashMap::new();
+    for job in &jobs {
+        let model = registry.get(job.user_id)?.0;
+        let mut cache = LogitCache::new();
+        trainer.gate().audit_cached(&model, space, &job.subject, &mut cache);
+        states.insert(
+            job.user_id,
+            UserState {
+                subject: job.subject.clone(),
+                cache,
+                detector: DriftDetector::new(config.drift),
+                live_sessions: Vec::new(),
+                status: UserStatus::Idle,
+                marked_us: 0,
+            },
+        );
+    }
+
+    // Phase 2: the post-bootstrap stream through the serving harness,
+    // with the personalization loop composed onto the same event heap —
+    // one extra FIFO resource serializes re-train occupancies.
+    let stream = live_stream(dataset, users, config);
+    let ServeHarness { mut links, jobs: arrival_jobs, flow: serve } =
+        serve_harness(registry, &stream.requests, &config.serve);
+    let trainer_link = links.len();
+    links.push(LinkSpec::fifo(LinkProfile::compute_resource("trainer")));
+
+    let mut flow = LiveFlow {
+        serve,
+        registry,
+        space,
+        trainer: &trainer,
+        config,
+        general_envelope: ModelEnvelope::encode(general),
+        trainer_link,
+        samples: &stream.samples,
+        sessions: &stream.sessions,
+        users: states,
+        round_armed: false,
+        inflight: 0,
+        next_seq: 0,
+        pending: HashMap::new(),
+        round_published: Vec::new(),
+        retrains: Vec::new(),
+        reaudit: ReauditStats::default(),
+        drift_marks: 0,
+        error: None,
+    };
+    let sim = Simulator::builder().links(links).build().run(&arrival_jobs, &mut flow);
+    if let Some(e) = flow.error {
+        return Err(e);
+    }
+    let serve_outcome = flow.serve.into_outcome(sim)?;
+    let pending_at_end = flow.users.values().filter(|s| s.status != UserStatus::Idle).count();
+    Ok(LiveOutcome {
+        bootstrap,
+        serve: serve_outcome,
+        retrains: flow.retrains,
+        reaudit: flow.reaudit,
+        drift_marks: flow.drift_marks,
+        pending_at_end,
+    })
+}

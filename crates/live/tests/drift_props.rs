@@ -1,0 +1,122 @@
+//! Property tests for the drift trigger: the retrain schedule is a pure
+//! function of the seeded event stream — same samples in, same marks
+//! out, regardless of how often anyone looks.
+
+use proptest::prelude::*;
+
+use pelican_live::{DriftConfig, DriftDetector, DriftMetric};
+use pelican_nn::{Sample, SequenceModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DIM: usize = 4;
+const LOCATIONS: usize = 5;
+
+fn model(seed: u64) -> SequenceModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    SequenceModel::single_lstm(DIM, 6, LOCATIONS, 0.0, &mut rng)
+}
+
+/// A synthetic event stream: each `(lane, target)` pair becomes a
+/// deterministic two-step sample.
+fn sample(lane: u8, target: u8) -> Sample {
+    let fill = f32::from(lane) * 0.07 - 0.5;
+    Sample {
+        xs: vec![vec![fill; DIM], vec![fill + 0.11; DIM]],
+        target: usize::from(target) % LOCATIONS,
+    }
+}
+
+fn config_strategy() -> impl Strategy<Value = DriftConfig> {
+    // Selector-driven metric mix (the vendored proptest has no
+    // `prop_oneof!`): even knobs score loss, odd knobs agreement.
+    (1usize..5, 1usize..8, 0u8..4, 1usize..3, 0u64..120).prop_map(
+        |(min_new_samples, window, selector, k, knob)| {
+            let metric = if selector % 2 == 0 {
+                DriftMetric::Loss { max_loss: knob as f64 / 30.0 }
+            } else {
+                DriftMetric::TopKAgreement { k, min_agreement: knob as f64 / 100.0 }
+            };
+            DriftConfig { metric, min_new_samples, window }
+        },
+    )
+}
+
+/// The full drift schedule of a stream: for every prefix, whether the
+/// trigger fires (draining on fire, exactly like the live loop does).
+fn schedule(config: DriftConfig, stream: &[(u8, u8)], model: &SequenceModel) -> Vec<usize> {
+    let mut detector = DriftDetector::new(config);
+    let mut marks = Vec::new();
+    for (i, &(lane, target)) in stream.iter().enumerate() {
+        detector.observe(sample(lane, target));
+        if detector.evaluate(model).is_some_and(|s| s.drifted) {
+            marks.push(i);
+            detector.drain();
+        }
+    }
+    marks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn same_seeded_stream_same_retrain_schedule(
+        config in config_strategy(),
+        stream in prop::collection::vec((0u8..16, 0u8..8), 1usize..80),
+        seed in 0u64..32,
+    ) {
+        let m = model(seed);
+        let a = schedule(config, &stream, &m);
+        let b = schedule(config, &stream, &m);
+        prop_assert_eq!(a, b, "the schedule is a pure function of the stream");
+    }
+
+    #[test]
+    fn evaluation_cadence_never_changes_the_verdicts(
+        config in config_strategy(),
+        stream in prop::collection::vec((0u8..16, 0u8..8), 1usize..60),
+        probe_mask in prop::collection::vec(0u8..2, 60usize..61),
+        seed in 0u64..32,
+    ) {
+        // A monitor that only *sometimes* looks must see exactly the
+        // verdict a continuous monitor saw at the same prefix — drift
+        // state depends on observations, never on evaluations.
+        let m = model(seed);
+        let mut continuous = DriftDetector::new(config);
+        let mut lazy = DriftDetector::new(config);
+        for (i, &(lane, target)) in stream.iter().enumerate() {
+            continuous.observe(sample(lane, target));
+            lazy.observe(sample(lane, target));
+            let reference = continuous.evaluate(&m);
+            if probe_mask[i % probe_mask.len()] == 1 {
+                prop_assert_eq!(lazy.evaluate(&m), reference);
+            }
+        }
+        prop_assert_eq!(continuous.fresh_count(), lazy.fresh_count());
+    }
+
+    #[test]
+    fn drain_starts_an_independent_epoch(
+        config in config_strategy(),
+        head in prop::collection::vec((0u8..16, 0u8..8), 1usize..30),
+        tail in prop::collection::vec((0u8..16, 0u8..8), 1usize..30),
+        seed in 0u64..32,
+    ) {
+        // After a drain, the detector's future is determined by the new
+        // samples alone: a drained veteran and a fresh detector agree on
+        // the tail stream observation-for-observation.
+        let m = model(seed);
+        let mut veteran = DriftDetector::new(config);
+        for &(lane, target) in &head {
+            veteran.observe(sample(lane, target));
+        }
+        veteran.drain();
+        let mut fresh = DriftDetector::new(config);
+        for &(lane, target) in &tail {
+            veteran.observe(sample(lane, target));
+            fresh.observe(sample(lane, target));
+            prop_assert_eq!(veteran.evaluate(&m), fresh.evaluate(&m));
+        }
+    }
+}

@@ -38,6 +38,7 @@ pub mod extract;
 pub mod generator;
 pub mod session;
 pub mod stats;
+pub mod stream;
 pub mod user;
 
 pub use campus::{Building, BuildingKind, Campus, CampusConfig};
@@ -53,6 +54,7 @@ pub use session::{
     MINUTES_PER_DAY,
 };
 pub use stats::{dwell_histogram, trace_stats, TraceStats};
+pub use stream::SessionCursor;
 pub use user::UserProfile;
 
 /// Problem-size presets.

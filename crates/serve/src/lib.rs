@@ -78,6 +78,9 @@ pub use metrics::{MetricsSink, ServeReport};
 pub use registry::{Lookup, RegistryConfig, RegistryStats, RollbackError, ShardedRegistry};
 pub use scheduler::{Batch, BatchScheduler, Completion, Request, SchedulerConfig, ServeEngine};
 pub use simserve::{
-    batch_compositions, simulate_serving, ServedRequest, SimServeConfig, SimServeOutcome,
+    batch_compositions, job_id, serve_harness, simulate_serving, ServeFlow, ServeHarness,
+    ServedRequest, SimServeConfig, SimServeOutcome, KIND_SHIFT,
 };
-pub use traffic::{Arrival, TrafficConfig, TrafficGenerator};
+pub use traffic::{
+    Arrival, MobilityTraffic, MobilityTrafficConfig, TrafficConfig, TrafficGenerator,
+};

@@ -123,14 +123,23 @@ pub fn batch_compositions(batches: &[Batch]) -> Vec<(usize, u64, Vec<usize>)> {
         .collect()
 }
 
-// Job-id namespaces on the shared heap: the top byte tags the class, the
-// low 56 bits carry the request/batch index.
-const KIND_SHIFT: u32 = 56;
+/// Job-id namespace width on the shared heap: the top byte tags the job
+/// class, the low 56 bits carry the request/batch index. Workloads
+/// composing extra job classes onto the same heap (like the live
+/// personalization loop) must tag them with kinds above
+/// [`ServeFlow::handles`]'s range.
+pub const KIND_SHIFT: u32 = 56;
 const KIND_ARRIVAL: u64 = 0;
 const KIND_BATCH: u64 = 1;
 const KIND_RESPONSE: u64 = 2;
 
-fn job_id(kind: u64, payload: u64) -> u64 {
+/// Builds a namespaced job id: `kind` in the top byte, `payload` in the
+/// low 56 bits.
+///
+/// # Panics
+///
+/// Debug-panics if `payload` overflows the 56-bit namespace.
+pub fn job_id(kind: u64, payload: u64) -> u64 {
     debug_assert!(payload < 1 << KIND_SHIFT);
     (kind << KIND_SHIFT) | payload
 }
@@ -157,6 +166,42 @@ pub fn simulate_serving(
     requests: &[Request],
     config: &SimServeConfig,
 ) -> Result<SimServeOutcome, ModelCodecError> {
+    let ServeHarness { links, jobs, mut flow } = serve_harness(registry, requests, config);
+    let sim = Simulator::builder().links(links).build().run(&jobs, &mut flow);
+    flow.into_outcome(sim)
+}
+
+/// The disassembled serving pass: the link table, the initial arrival
+/// jobs and the scheduler-as-workload, *before* the simulator runs.
+///
+/// [`simulate_serving`] assembles exactly these three pieces and runs
+/// them as-is; a composing workload (the live personalization loop)
+/// appends its own links and job classes, wraps [`ServeHarness::flow`]
+/// in its own [`Workload`], and drives the union on one event heap —
+/// when nothing extra is submitted, the trace is bit-identical to
+/// [`simulate_serving`]'s.
+pub struct ServeHarness<'a> {
+    /// Shard compute resources first (link `i` = shard `i`), then — in
+    /// cloud mode — the shared egress and one uplink per distinct
+    /// client. Composing workloads append after these.
+    pub links: Vec<LinkSpec>,
+    /// One arrival job per request, already namespaced.
+    pub jobs: Vec<JobSpec>,
+    /// The serving workload, ready for [`Simulator::run`].
+    pub flow: ServeFlow<'a>,
+}
+
+/// Disassembles one sim-driven serving pass — see [`ServeHarness`].
+///
+/// # Panics
+///
+/// Panics if `config.scheduler.max_batch` is zero or a request id is
+/// outside the 56-bit job-id namespace.
+pub fn serve_harness<'a>(
+    registry: &'a ShardedRegistry,
+    requests: &[Request],
+    config: &SimServeConfig,
+) -> ServeHarness<'a> {
     assert!(config.scheduler.max_batch > 0, "max_batch must be positive");
     let n_shards = registry.shard_count();
     let mut requests: Vec<Request> = requests.to_vec();
@@ -201,7 +246,7 @@ pub fn simulate_serving(
         })
         .collect();
 
-    let mut flow = ServeFlow {
+    let flow = ServeFlow {
         engine: ServeEngine::new(registry, config.tier),
         config: config.scheduler,
         n_shards,
@@ -218,22 +263,14 @@ pub fn simulate_serving(
         dropped: 0,
         error: None,
     };
-    let sim = Simulator::builder().links(links).build().run(&initial, &mut flow);
-    if let Some(e) = flow.error {
-        return Err(e);
-    }
-    flow.served.sort_unstable_by_key(|s| s.request_id);
-    Ok(SimServeOutcome {
-        batches: flow.batches,
-        completions: flow.completions,
-        served: flow.served,
-        dropped: flow.dropped,
-        sim,
-    })
+    ServeHarness { links, jobs: initial, flow }
 }
 
-/// The scheduler-as-workload driving one serving pass.
-struct ServeFlow<'a> {
+/// The scheduler-as-workload driving one serving pass. Built by
+/// [`serve_harness`]; either run directly (that is [`simulate_serving`])
+/// or delegated to from a composing [`Workload`] for every job id that
+/// [`ServeFlow::handles`] and every timer key below the shard count.
+pub struct ServeFlow<'a> {
     engine: ServeEngine<'a>,
     config: SchedulerConfig,
     n_shards: usize,
@@ -262,6 +299,43 @@ struct ServeFlow<'a> {
 }
 
 impl ServeFlow<'_> {
+    /// Whether `job_id` lives in one of the serving namespaces (arrival,
+    /// batch, response). A composing workload delegates exactly these to
+    /// the inner flow's [`Workload::on_job_end`] and keeps its own job
+    /// classes in higher kinds.
+    pub fn handles(job_id: u64) -> bool {
+        job_id >> KIND_SHIFT <= KIND_RESPONSE
+    }
+
+    /// Shards this flow schedules over. Timer keys below this count
+    /// belong to the serving flow (buffer deadlines); composing
+    /// workloads must pick their own keys at or above it.
+    pub fn shard_count(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Finalizes the pass: surfaces any envelope-decode error and
+    /// assembles the outcome around the finished simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelCodecError`] if a stored envelope failed to decode
+    /// during the run.
+    pub fn into_outcome(self, sim: SimOutcome) -> Result<SimServeOutcome, ModelCodecError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let mut served = self.served;
+        served.sort_unstable_by_key(|s| s.request_id);
+        Ok(SimServeOutcome {
+            batches: self.batches,
+            completions: self.completions,
+            served,
+            dropped: self.dropped,
+            sim,
+        })
+    }
+
     /// Seals every buffer whose deadline has passed, in deterministic
     /// `(deadline, shard)` order — the mirror of the offline scheduler's
     /// `flush_expired`, run before any buffering at the same instant so

@@ -7,6 +7,7 @@
 //! identical seeds yield identical arrival timestamps and user picks,
 //! machine-to-machine, so every serving experiment is exactly repeatable.
 
+use pelican_mobility::{Session, UserTrace};
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 
@@ -132,6 +133,110 @@ impl Iterator for TrafficGenerator {
     }
 }
 
+/// How mobility sessions map onto the serving clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MobilityTrafficConfig {
+    /// Simulated microseconds per trace minute. `60_000_000` replays the
+    /// campus in real time; smaller values compress the weeks-long trace
+    /// onto a shorter serving clock without reordering anything.
+    pub us_per_minute: u64,
+    /// Trace minute the serving window opens at (exclusive): sessions at
+    /// or before it — e.g. the enrollment window the one-shot pipeline
+    /// already consumed — emit no queries. Arrival timestamps are
+    /// measured from this minute, so the window opens near virtual
+    /// time 0.
+    pub start_minute: u64,
+    /// Trace minute the window closes at (inclusive); `u64::MAX` drains
+    /// the whole trace.
+    pub end_minute: u64,
+}
+
+impl Default for MobilityTrafficConfig {
+    fn default() -> Self {
+        Self { us_per_minute: 60_000_000, start_minute: 0, end_minute: u64::MAX }
+    }
+}
+
+/// The fleet's own mobility as the arrival process: every campus session
+/// becomes one query, timestamped by its (time-compressed) entry minute.
+///
+/// Where [`TrafficGenerator`] synthesizes load shape from a seed, this
+/// adapter derives it from the same [`pelican_mobility`] traces the
+/// models are trained on — so the serving tier inherits diurnal rhythm
+/// (campuses sleep at night), per-user burstiness (back-to-back
+/// sessions) and device churn (users going dark for days) for free, and
+/// the arrival stream is exactly as deterministic as the trace seed.
+#[derive(Debug, Clone)]
+pub struct MobilityTraffic {
+    arrivals: Vec<Arrival>,
+    sessions: Vec<Session>,
+    pos: usize,
+}
+
+impl MobilityTraffic {
+    /// Builds the merged arrival stream of a fleet of traces. The user
+    /// index of each arrival is the session's own `user` id; ties at the
+    /// same instant order by user id, so the stream is invariant under
+    /// permutation of `traces`.
+    pub fn from_traces(traces: &[UserTrace], config: MobilityTrafficConfig) -> Self {
+        Self::from_sessions(traces.iter().flat_map(|t| t.sessions.iter().copied()), config)
+    }
+
+    /// Builds the arrival stream from raw sessions (any order).
+    pub fn from_sessions(
+        sessions: impl IntoIterator<Item = Session>,
+        config: MobilityTrafficConfig,
+    ) -> Self {
+        let mut sessions: Vec<Session> = sessions
+            .into_iter()
+            .filter(|s| {
+                let m = s.absolute_entry();
+                m > config.start_minute && m <= config.end_minute
+            })
+            .collect();
+        sessions.sort_by_key(|s| (s.absolute_entry(), s.user, s.building, s.ap));
+        let arrivals = sessions
+            .iter()
+            .map(|s| Arrival {
+                at_us: (s.absolute_entry() - config.start_minute) * config.us_per_minute,
+                user_index: s.user,
+            })
+            .collect();
+        Self { arrivals, sessions, pos: 0 }
+    }
+
+    /// The full arrival stream, ascending by `(at_us, user)`.
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// The sessions behind the stream, parallel to [`Self::arrivals`]:
+    /// arrival `i` is session `i` entering its building.
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// Number of arrivals in the window.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the window contains no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+}
+
+impl Iterator for MobilityTraffic {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        let arrival = self.arrivals.get(self.pos).copied();
+        self.pos += arrival.is_some() as usize;
+        arrival
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,5 +303,70 @@ mod tests {
         cfg.seed = 8;
         let b: Vec<Arrival> = TrafficGenerator::new(cfg).collect();
         assert_ne!(a, b);
+    }
+
+    mod mobility {
+        use super::*;
+        use pelican_mobility::{CampusConfig, Scale, TraceGenerator, MINUTES_PER_DAY};
+
+        fn traces() -> Vec<UserTrace> {
+            TraceGenerator::new(CampusConfig::for_scale(Scale::Tiny), 11).all_traces()
+        }
+
+        #[test]
+        fn arrivals_are_sorted_and_match_sessions() {
+            let cfg = MobilityTrafficConfig { us_per_minute: 1_000, ..Default::default() };
+            let traffic = MobilityTraffic::from_traces(&traces(), cfg);
+            assert!(!traffic.is_empty());
+            assert_eq!(traffic.arrivals().len(), traffic.sessions().len());
+            for (a, s) in traffic.arrivals().iter().zip(traffic.sessions()) {
+                assert_eq!(a.user_index, s.user);
+                assert_eq!(a.at_us, s.absolute_entry() * 1_000);
+            }
+            for pair in traffic.arrivals().windows(2) {
+                assert!(pair[0].at_us <= pair[1].at_us);
+            }
+        }
+
+        #[test]
+        fn stream_is_invariant_under_trace_permutation() {
+            let cfg = MobilityTrafficConfig { us_per_minute: 500, ..Default::default() };
+            let mut reversed = traces();
+            reversed.reverse();
+            let a: Vec<Arrival> = MobilityTraffic::from_traces(&traces(), cfg).collect();
+            let b: Vec<Arrival> = MobilityTraffic::from_traces(&reversed, cfg).collect();
+            assert_eq!(a, b);
+        }
+
+        #[test]
+        fn window_excludes_the_enrollment_prefix_and_rebases_time() {
+            let start = 7 * MINUTES_PER_DAY as u64;
+            let cfg = MobilityTrafficConfig {
+                us_per_minute: 1_000,
+                start_minute: start,
+                end_minute: 10 * MINUTES_PER_DAY as u64,
+            };
+            let traffic = MobilityTraffic::from_traces(&traces(), cfg);
+            assert!(!traffic.is_empty(), "tiny scale spans two weeks");
+            for s in traffic.sessions() {
+                assert!(s.absolute_entry() > start);
+                assert!(s.absolute_entry() <= 10 * MINUTES_PER_DAY as u64);
+            }
+            let first = traffic.arrivals()[0].at_us;
+            assert!(first < 2 * MINUTES_PER_DAY as u64 * 1_000, "rebased near zero");
+        }
+
+        #[test]
+        fn campus_nights_leave_diurnal_gaps() {
+            // Sessions end at home by 23:00 and wake after 7:00: with a
+            // real-time mapping, every day boundary shows an hours-long
+            // arrival silence the Zipf generator never produces.
+            let cfg = MobilityTrafficConfig { us_per_minute: 60_000_000, ..Default::default() };
+            let traffic = MobilityTraffic::from_traces(&traces(), cfg);
+            let max_gap =
+                traffic.arrivals().windows(2).map(|p| p[1].at_us - p[0].at_us).max().unwrap();
+            let four_hours = 4 * 60 * 60_000_000u64;
+            assert!(max_gap >= four_hours, "expected an overnight silence, max gap {max_gap}");
+        }
     }
 }

@@ -211,12 +211,6 @@ impl JobReport {
     pub fn stage_report(&self, stage: &Stage) -> Option<&StageReport> {
         find_stage(&self.stages, stage.label())
     }
-
-    /// The report of the stage with `label`, if the job reached it.
-    #[deprecated(note = "use `stage_report` with the `Stage` enum instead of a bare label")]
-    pub fn stage(&self, label: &str) -> Option<&StageReport> {
-        find_stage(&self.stages, label)
-    }
 }
 
 /// How much of the event trace a run retains.
@@ -292,12 +286,6 @@ impl<'a> JobView<'a> {
     /// reached it (label-only match, see [`JobReport::stage_report`]).
     pub fn stage_report(&self, stage: &Stage) -> Option<&'a StageReport> {
         find_stage(self.stages, stage.label())
-    }
-
-    /// The report of the stage with `label`, if the job reached it.
-    #[deprecated(note = "use `stage_report` with the `Stage` enum instead of a bare label")]
-    pub fn stage(&self, label: &str) -> Option<&'a StageReport> {
-        find_stage(self.stages, label)
     }
 
     /// Owned snapshot of this job (the [`Workload`] callback shape).
@@ -545,12 +533,6 @@ impl Simulator {
     /// Starts building a simulator.
     pub fn builder() -> SimulatorBuilder {
         SimulatorBuilder::default()
-    }
-
-    /// Creates a single-shard, full-trace simulator over `links`.
-    #[deprecated(note = "use `Simulator::builder().links(..).build()`")]
-    pub fn new(links: Vec<LinkSpec>) -> Self {
-        Self { links, shards: 1, trace: TraceLevel::Full }
     }
 
     /// Number of links in the table.
@@ -1622,28 +1604,16 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_matches_builder() {
-        let jobs =
-            vec![JobSpec { id: 0, release_us: 0, stages: vec![xfer(0, 90_000), xfer(0, 10_000)] }];
-        let a = Simulator::new(vec![wifi_fifo()]).run(&jobs, &mut Passive);
-        let b = sim(vec![wifi_fifo()]).run(&jobs, &mut Passive);
-        assert_eq!(a, b);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn stage_lookup_by_enum_matches_deprecated_label_lookup() {
+    fn stage_lookup_resolves_by_label_match() {
         let stages = vec![xfer(0, 40_000), Stage::Compute { label: "train", duration_us: 7_000 }];
         let jobs = vec![JobSpec { id: 0, release_us: 0, stages: stages.clone() }];
         let out = sim(vec![wifi_fifo()]).run(&jobs, &mut Passive);
         let job = out.job(0);
         let by_enum = job.stage_report(&stages[1]).expect("job reached the train stage");
         assert_eq!(by_enum.ideal_us, 7_000);
-        assert_eq!(Some(by_enum), job.stage("train"));
         assert!(job.stage_report(&Stage::Compute { label: "absent", duration_us: 1 }).is_none());
         let owned = job.to_report();
-        assert_eq!(owned.stage_report(&stages[0]), owned.stage("xfer"));
+        assert_eq!(owned.stage_report(&stages[0]), job.stage_report(&stages[0]).cloned().as_ref());
         assert_eq!(owned.total_us(), job.total_us());
     }
 

@@ -487,6 +487,30 @@ impl EnvelopeStore {
         }
     }
 
+    /// Fetches the newest committed envelope for a user together with
+    /// the version it was committed as — the warm-start read the live
+    /// personalization loop makes before an incremental re-train, where
+    /// the version doubles as the rollback target if the re-train
+    /// regresses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when the backend fails or the record was
+    /// mutilated on disk after recovery.
+    pub fn fetch_latest_with_version(
+        &self,
+        user: u64,
+    ) -> Result<Option<(u64, ModelEnvelope)>, StoreError> {
+        let entry = {
+            let shard = self.lock(self.shard_of(user));
+            shard.index.get(&user).and_then(|h| h.last()).copied()
+        };
+        match entry {
+            Some(e) => Ok(Some((e.version, self.read_entry(self.shard_of(user), &e)?))),
+            None => Ok(None),
+        }
+    }
+
     /// Fetches one historical version of a user's envelope.
     ///
     /// # Errors
@@ -729,6 +753,18 @@ mod tests {
             Err(StoreError::UnknownVersion { user: 7, version: 9 })
         ));
         assert_eq!(store.fetch_latest(42).unwrap(), None);
+    }
+
+    #[test]
+    fn fetch_latest_with_version_pairs_bytes_with_the_rollback_target() {
+        let (store, _) = open_mem(StoreConfig::default());
+        assert_eq!(store.fetch_latest_with_version(5).unwrap(), None);
+        store.append(5, 1, &envelope(0x11, 40)).unwrap();
+        store.append(5, 4, &envelope(0x22, 60)).unwrap();
+        let (version, latest) = store.fetch_latest_with_version(5).unwrap().unwrap();
+        assert_eq!(version, 4);
+        assert_eq!(latest.as_bytes(), &vec![0x22; 60][..]);
+        assert_eq!(store.fetch(5, version).unwrap().as_bytes(), latest.as_bytes());
     }
 
     #[test]

@@ -149,12 +149,29 @@ pub struct GateOutcome {
     /// gate's true forward-pass count is
     /// `queries + probe_count * audits - cached`.
     pub cached: u64,
+    /// Oracle queries that actually ran a forward pass (the cache
+    /// misses). For a fresh candidate this is the cost of audit #1; for
+    /// a re-audit riding a warm [`LogitCache`] of unchanged weights it
+    /// is zero — the observable form of "unchanged candidates pay zero
+    /// forward passes".
+    pub cache_misses: u64,
 }
 
 impl GateOutcome {
     /// Whether the published model's leakage is within the gate's budget.
     pub fn within_budget(&self, config: &AuditConfig) -> bool {
         self.final_leakage <= config.max_leakage
+    }
+
+    /// Cache hits: oracle queries that skipped their forward pass.
+    pub fn saved_forward_passes(&self) -> u64 {
+        self.cached
+    }
+
+    /// Forward passes the gate actually ran (its cache misses). Always
+    /// equals `queries + probe_count * audits - cached`.
+    pub fn forward_passes(&self) -> u64 {
+        self.cache_misses
     }
 }
 
@@ -240,10 +257,27 @@ impl AuditGate {
     /// release-ready model (defense installed) with the gate's record.
     pub fn admit(
         &self,
-        mut candidate: SequenceModel,
+        candidate: SequenceModel,
         space: &FeatureSpace,
         subject: &AuditSubject,
     ) -> (SequenceModel, GateOutcome) {
+        let (model, outcome, _cache) = self.admit_with_cache(candidate, space, subject);
+        (model, outcome)
+    }
+
+    /// [`AuditGate::admit`], but hands back the logit cache the ladder
+    /// filled — the entry point for *incremental* re-audits. The cache
+    /// is keyed to the released candidate's weights, so a later
+    /// [`AuditGate::audit_cached`] of the same published model (policy
+    /// re-verification of an unchanged candidate) replays it entirely
+    /// and pays zero forward passes. Discard the cache the moment the
+    /// user's weights change (e.g. after a warm-start re-train).
+    pub fn admit_with_cache(
+        &self,
+        mut candidate: SequenceModel,
+        space: &FeatureSpace,
+        subject: &AuditSubject,
+    ) -> (SequenceModel, GateOutcome, LogitCache) {
         let c = &self.config;
         c.base_defense.apply(&mut candidate);
         let mut defense = c.base_defense;
@@ -288,8 +322,9 @@ impl AuditGate {
             audits,
             queries,
             cached: cache.hits,
+            cache_misses: cache.misses,
         };
-        (candidate, outcome)
+        (candidate, outcome, cache)
     }
 }
 
@@ -405,9 +440,30 @@ mod tests {
             first.misses,
             "escalation rungs must not re-run any forward pass"
         );
+        // The outcome now carries the counters directly: forward passes
+        // equal audit #1's misses, saved passes equal the cache hits.
+        assert_eq!(outcome.forward_passes(), first.misses);
+        assert_eq!(outcome.cache_misses, first.misses);
+        assert_eq!(outcome.saved_forward_passes(), outcome.cached);
+        assert!(outcome.saved_forward_passes() > 0);
         // Re-audits still pay (and account) their black-box queries; only
         // the forward passes vanish.
         assert!(outcome.queries > first_eval.queries);
+    }
+
+    #[test]
+    fn reaudit_of_unchanged_candidate_pays_zero_forward_passes() {
+        let space = space();
+        let gate = AuditGate::new(AuditConfig::default());
+        let s = subject(&space, 5);
+        let (published, outcome, mut cache) = gate.admit_with_cache(model(6, &space), &space, &s);
+        assert!(outcome.cache_misses > 0, "the first audit pays real forward passes");
+        let misses_before = cache.misses;
+        // Policy re-verification of the unchanged published model: every
+        // oracle query replays from the warm cache.
+        let reaudit = gate.audit_cached(&published, &space, &s, &mut cache);
+        assert_eq!(cache.misses, misses_before, "unchanged candidate re-ran a forward pass");
+        assert_eq!(reaudit.accuracy(gate.config().audit_k), outcome.final_leakage);
     }
 
     #[test]

@@ -87,11 +87,14 @@ pub mod report;
 pub mod rollback;
 
 pub use audit::{AuditConfig, AuditGate, AuditSubject, GateOutcome, GateVerdict};
+// The cache type `AuditGate::admit_with_cache` hands back; re-exported so
+// incremental re-audit callers need no direct `pelican_attacks` edge.
 pub use cosim::{cosimulate_fleet, CosimReport, LoopMode, Publication, RoundRecord};
 pub use job::{cohort_jobs, JobKind, TrainJob};
 pub use network::{
     simulate_fleet_network, NetComponent, NetEnroll, NetTrainReport, NetworkConfig, UplinkMode,
 };
+pub use pelican_attacks::LogitCache;
 pub use pipeline::{run_pipeline, FleetTrainer, PipelineConfig};
 pub use pool::{user_seed, TrainerPool};
 pub use report::{JobOutcome, TrainReport};

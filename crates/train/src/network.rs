@@ -314,6 +314,7 @@ mod tests {
                     audits: 1,
                     queries: 10,
                     cached: 0,
+                    cache_misses: 10,
                 },
                 fit: FitReport { epoch_losses: vec![0.5], steps: 4, samples_per_epoch: 4 },
                 enroll_latency: Duration::from_millis(5),

@@ -109,9 +109,22 @@ impl FleetTrainer {
         DevicePersonalizer::new(cfg, self.config.link)
     }
 
+    /// The pipeline's audit gate — shared with callers (like the live
+    /// personalization loop) that audit outside [`FleetTrainer::run`].
+    pub fn gate(&self) -> &AuditGate {
+        &self.gate
+    }
+
     /// Trains one candidate model (fresh personalization or warm-start
     /// update). Returns the undefended candidate and its fit report.
-    fn train_candidate(
+    ///
+    /// This is the single-job entry point the streaming loop re-trains
+    /// through: a [`JobKind::WarmStart`] job decodes the published
+    /// envelope, strips its serving-time defense, and incrementally
+    /// updates the weights on the user's fresh samples — with the exact
+    /// per-user seeds [`FleetTrainer::run`] would use, so a re-train is
+    /// bit-identical no matter which caller drives it.
+    pub fn train_candidate(
         &self,
         general: &ModelEnvelope,
         job: &TrainJob,

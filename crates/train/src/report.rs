@@ -101,6 +101,19 @@ impl TrainReport {
         self.outcomes.iter().map(|o| o.gate.queries).sum()
     }
 
+    /// Forward passes the audits actually ran (cache misses summed
+    /// across every gate).
+    pub fn audit_forward_passes(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.gate.cache_misses).sum()
+    }
+
+    /// Forward passes the logit caches saved (cache hits summed across
+    /// every gate) — escalation rungs and incremental re-audits replay
+    /// these instead of re-querying the model.
+    pub fn forward_passes_saved(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.gate.cached).sum()
+    }
+
     /// Median end-to-end enroll latency (job steal → publication).
     pub fn enroll_latency_p50(&self) -> Duration {
         self.latency_percentile(0.50)
@@ -134,11 +147,13 @@ impl TrainReport {
             self.flops as f64 / 1e9,
         ));
         out.push_str(&format!(
-            "audit gate  {} passed, {} escalated, {} exhausted ({} queries)\n",
+            "audit gate  {} passed, {} escalated, {} exhausted ({} queries: {} forward passes, {} cached)\n",
             self.passed(),
             self.escalated(),
             self.exhausted(),
             self.audit_queries(),
+            self.audit_forward_passes(),
+            self.forward_passes_saved(),
         ));
         out.push_str(&format!(
             "enroll      p50 {:.2?}  p95 {:.2?}  ({} warm starts)\n",
@@ -168,7 +183,8 @@ mod tests {
                 final_leakage: 0.2,
                 audits: 1,
                 queries: 10,
-                cached: 0,
+                cached: 4,
+                cache_misses: 6,
             },
             fit: FitReport { epoch_losses: vec![1.0], steps: 1, samples_per_epoch: 1 },
             enroll_latency: Duration::from_millis(latency_ms),
@@ -194,6 +210,8 @@ mod tests {
         assert_eq!((report.passed(), report.escalated(), report.exhausted()), (1, 2, 1));
         assert_eq!(report.warm_starts(), 1);
         assert_eq!(report.audit_queries(), 40);
+        assert_eq!(report.audit_forward_passes(), 24);
+        assert_eq!(report.forward_passes_saved(), 16);
         assert_eq!(report.models_per_sec(), 2.0);
         assert_eq!(report.enroll_latency_p50(), Duration::from_millis(20));
         assert_eq!(report.enroll_latency_p95(), Duration::from_millis(40));
