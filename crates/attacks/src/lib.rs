@@ -27,6 +27,7 @@ pub mod eval;
 pub mod methods;
 pub mod oracle;
 pub mod prior;
+pub mod served;
 
 pub use adversary::{Adversary, Instance};
 pub use eval::{evaluate_attack, AttackEvaluation};
@@ -36,3 +37,7 @@ pub use methods::{
 };
 pub use oracle::{BlackBox, CachedBlackBox, LogitCache};
 pub use prior::{Prior, PriorKind};
+pub use served::{
+    serve_locally, truncate_top_k, RecordingBlackBox, ReplayBlackBox, ServedAdversary,
+    ServedAnswer, ServedConfig, ServedQuery,
+};

@@ -15,12 +15,14 @@
 //! | [`sim_scale`] | sim-core scaling: timer-wheel events/sec, memory and shard invariance at 10⁴–10⁶ devices (beyond the paper) |
 //! | [`store`] | durable model store: log throughput, crash-recovery probe, rollback-under-traffic staleness (beyond the paper) |
 //! | [`live`] | streaming personalization loop: retrain latency/staleness, width invariance, zero-cost re-audits (beyond the paper) |
+//! | [`abx`] | closed-loop A/B experimentation of defense rungs: served-interface leakage verdicts, A/A null, flip-back rollout (beyond the paper) |
 //!
 //! Every experiment registers in the [`Experiment`] registry:
 //! [`experiments`] enumerates them (driving `repro --list`) and
 //! [`find`] resolves a CLI name to its runner.
 
 pub mod ablation;
+pub mod abx;
 pub mod adversaries;
 pub mod attack_methods;
 pub mod cosim;
@@ -179,6 +181,12 @@ static REGISTRY: &[Entry] = &[
         description:
             "streaming personalization loop: width invariance, retrain latency, free re-audits",
         run: run_live_report,
+    },
+    Entry {
+        name: "ab-report",
+        description:
+            "closed-loop A/B of defense rungs: served-interface verdict, A/A null, flip rollout",
+        run: run_ab_report,
     },
     Entry {
         name: "ablate-defenses",
@@ -388,6 +396,25 @@ fn run_live_report(config: &RunConfig) {
     match std::fs::write("BENCH_live_loop.json", &json) {
         Ok(()) => println!("wrote BENCH_live_loop.json"),
         Err(e) => eprintln!("could not write BENCH_live_loop.json: {e}"),
+    }
+}
+
+fn run_ab_report(config: &RunConfig) {
+    banner("A/B experiment — defense rungs under live traffic", config);
+    let run = abx::run(config);
+    println!(
+        "fingerprints bit-identical across {:?}-worker pools; cohorts disjoint and \
+         seed-stable;\nA/A control decided null (Δ {:+.3}); zero degraded responses after \
+         any flip\n",
+        abx::WIDTHS,
+        run.aa_delta,
+    );
+    println!("{}", abx::table(&run).render());
+    print!("{}", run.outcome.render());
+    let json = abx::to_json(&run);
+    match std::fs::write("BENCH_ab_leakage.json", &json) {
+        Ok(()) => println!("wrote BENCH_ab_leakage.json"),
+        Err(e) => eprintln!("could not write BENCH_ab_leakage.json: {e}"),
     }
 }
 

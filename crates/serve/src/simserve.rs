@@ -314,6 +314,42 @@ impl ServeFlow<'_> {
         self.n_shards
     }
 
+    /// Hands the flow a request that did not exist when the harness was
+    /// built — the dynamic-traffic entry point for composing workloads
+    /// (e.g. an A/B experiment's adversary, whose next queries depend on
+    /// answers to earlier ones). The request is ingested at the current
+    /// virtual instant exactly as if its arrival job had just completed;
+    /// the composing workload models whatever uplink it wants with its
+    /// own job class and injects when that job ends. `request.arrival_us`
+    /// is kept as the client send time for the round-trip record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id collides with a request this flow already knows.
+    pub fn inject(&mut self, request: Request, sim: &mut SimControl) {
+        assert!(
+            !self.sent_us.contains_key(&request.id) && !self.pending.contains_key(&request.id),
+            "injected request id {} collides with an existing request",
+            request.id
+        );
+        self.sent_us.insert(request.id, request.arrival_us);
+        self.ingest(request, sim.now(), sim);
+    }
+
+    /// Sealed batches so far, in seal order on the virtual clock — a
+    /// composing workload reads these mid-run to react to traffic.
+    pub fn batches(&self) -> &[Batch] {
+        &self.batches
+    }
+
+    /// Per-batch completions, parallel to [`Self::batches`]. The
+    /// queue/service split of a batch is back-filled when its shard
+    /// occupancy job finishes (so it is final by the time a composing
+    /// workload sees that batch's `KIND_BATCH` job end).
+    pub fn completions(&self) -> &[Vec<Completion>] {
+        &self.completions
+    }
+
     /// Finalizes the pass: surfaces any envelope-decode error and
     /// assembles the outcome around the finished simulation.
     ///
@@ -619,6 +655,65 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert_eq!(a.fingerprint(), c.fingerprint(), "input order is normalized away");
         assert_eq!(a.compositions(), c.compositions());
+    }
+
+    #[test]
+    fn injected_requests_join_the_stream_mid_run() {
+        // A composing workload that injects one extra request when its
+        // own (kind-9) job completes — the dynamic-traffic pattern the
+        // A/B adversary uses.
+        struct Injector<'a> {
+            serve: ServeFlow<'a>,
+        }
+        impl Workload for Injector<'_> {
+            fn on_job_end(&mut self, job: &JobReport, sim: &mut SimControl) {
+                if ServeFlow::handles(job.id) {
+                    self.serve.on_job_end(job, sim);
+                } else {
+                    self.serve.inject(request(100, 0, sim.now()), sim);
+                }
+            }
+            fn on_timer(&mut self, key: u64, sim: &mut SimControl) {
+                self.serve.on_timer(key, sim);
+            }
+        }
+
+        let registry = registry(2);
+        let cfg = config(SchedulerConfig { max_batch: 4, max_delay_us: 900 }, None);
+        let harness = serve_harness(&registry, &stream(8), &cfg);
+        let ServeHarness { links, mut jobs, flow } = harness;
+        jobs.push(JobSpec { id: job_id(9, 0), release_us: 500, stages: Vec::new() });
+        let mut injector = Injector { serve: flow };
+        let sim = Simulator::builder().links(links).build().run(&jobs, &mut injector);
+        assert!(!injector.serve.batches().is_empty(), "mid-run accessor sees sealed batches");
+        assert_eq!(injector.serve.batches().len(), injector.serve.completions().len());
+        let out = injector.serve.into_outcome(sim).expect("envelopes decode");
+        assert_eq!(out.served.len(), 9, "8 initial + 1 injected");
+        let injected = out.served.iter().find(|s| s.request_id == 100).expect("injected served");
+        assert_eq!(injected.sent_us, 500, "send time is the inject instant");
+        assert!(injected.done_us > injected.sent_us);
+    }
+
+    #[test]
+    #[should_panic(expected = "collides")]
+    fn injecting_a_known_request_id_panics() {
+        let registry = registry(2);
+        let cfg = config(SchedulerConfig { max_batch: 4, max_delay_us: 900 }, None);
+        let harness = serve_harness(&registry, &stream(4), &cfg);
+        let ServeHarness { links, jobs, flow } = harness;
+        // A probe workload that injects a colliding id on the first
+        // arrival it sees.
+        struct Collider<'a>(ServeFlow<'a>);
+        impl Workload for Collider<'_> {
+            fn on_job_end(&mut self, job: &JobReport, sim: &mut SimControl) {
+                self.0.on_job_end(job, sim);
+                self.0.inject(request(0, 0, sim.now()), sim);
+            }
+            fn on_timer(&mut self, key: u64, sim: &mut SimControl) {
+                self.0.on_timer(key, sim);
+            }
+        }
+        Simulator::builder().links(links).build().run(&jobs, &mut Collider(flow));
     }
 
     #[test]

@@ -357,6 +357,74 @@ mod tests {
         }
 
         #[test]
+        fn a_user_with_no_second_week_sessions_emits_zero_arrivals() {
+            // The live loop's bootstrap/serve split: a user who goes dark
+            // after the enrollment week must contribute nothing to the
+            // serving window — not panic, and not leak bootstrap-week
+            // sessions into the stream.
+            let week = 7 * MINUTES_PER_DAY as u64;
+            let trace = &traces()[0];
+            assert!(
+                trace.sessions.iter().any(|s| s.absolute_entry() <= week),
+                "the trace has a bootstrap week to (not) leak"
+            );
+            let first_week_only: Vec<Session> =
+                trace.sessions.iter().copied().filter(|s| s.absolute_entry() <= week).collect();
+            let cfg = MobilityTrafficConfig {
+                us_per_minute: 1_000,
+                start_minute: week,
+                end_minute: u64::MAX,
+            };
+            let traffic = MobilityTraffic::from_sessions(first_week_only, cfg);
+            assert!(traffic.is_empty(), "no second-week sessions -> no arrivals");
+            assert_eq!(traffic.len(), 0);
+            assert!(traffic.sessions().is_empty());
+            assert_eq!(traffic.collect::<Vec<Arrival>>(), Vec::new(), "iteration just ends");
+        }
+
+        #[test]
+        fn an_empty_window_produces_zero_arrivals() {
+            // start == end is an empty window (start exclusive, end
+            // inclusive): every session filters out regardless of trace.
+            let cfg = MobilityTrafficConfig {
+                us_per_minute: 1_000,
+                start_minute: 5 * MINUTES_PER_DAY as u64,
+                end_minute: 5 * MINUTES_PER_DAY as u64,
+            };
+            let traffic = MobilityTraffic::from_traces(&traces(), cfg);
+            assert!(traffic.is_empty());
+            assert!(traffic.arrivals().is_empty() && traffic.sessions().is_empty());
+
+            // A window past the whole trace is equally silent, and an
+            // empty fleet never panics either.
+            let far = MobilityTrafficConfig {
+                us_per_minute: 1_000,
+                start_minute: 1_000 * MINUTES_PER_DAY as u64,
+                end_minute: u64::MAX,
+            };
+            assert!(MobilityTraffic::from_traces(&traces(), far).is_empty());
+            assert!(MobilityTraffic::from_traces(&[], MobilityTrafficConfig::default()).is_empty());
+        }
+
+        #[test]
+        fn the_window_boundary_is_exclusive_start_inclusive_end() {
+            let mk = |m: u64| Session {
+                user: 0,
+                building: 1,
+                ap: 1,
+                day: (m / MINUTES_PER_DAY as u64) as u32,
+                entry_minutes: (m % MINUTES_PER_DAY as u64) as u32,
+                duration_minutes: 10,
+            };
+            let cfg =
+                MobilityTrafficConfig { us_per_minute: 1_000, start_minute: 100, end_minute: 200 };
+            let traffic = MobilityTraffic::from_sessions([mk(100), mk(101), mk(200), mk(201)], cfg);
+            let minutes: Vec<u64> = traffic.sessions().iter().map(|s| s.absolute_entry()).collect();
+            assert_eq!(minutes, vec![101, 200], "start excluded, end included");
+            assert_eq!(traffic.arrivals()[0].at_us, 1_000, "rebased against the start minute");
+        }
+
+        #[test]
         fn campus_nights_leave_diurnal_gaps() {
             // Sessions end at home by 23:00 and wake after 7:00: with a
             // real-time mapping, every day boundary shows an hours-long

@@ -32,6 +32,9 @@
 //!   fleet-wide bad publication is canary-detected and rolled back to
 //!   the prior retained version over contended links while queries keep
 //!   flowing, with the staleness window measured on the virtual clock.
+//! * [`staleness`] — the detection→last-swap window measurement itself,
+//!   shared with any other flow that swaps a fleet back (e.g. the A/B
+//!   losing-arm flip in `pelican-abx`).
 //! * [`network`] — replays a pipeline run through the [`pelican_sim`]
 //!   discrete-event simulator: downloads overlap training across the
 //!   fleet, uploads queue on a shared uplink, stragglers straggle, and
@@ -85,6 +88,7 @@ pub mod pipeline;
 pub mod pool;
 pub mod report;
 pub mod rollback;
+pub mod staleness;
 
 pub use audit::{AuditConfig, AuditGate, AuditSubject, GateOutcome, GateVerdict};
 // The cache type `AuditGate::admit_with_cache` hands back; re-exported so
@@ -99,3 +103,4 @@ pub use pipeline::{run_pipeline, FleetTrainer, PipelineConfig};
 pub use pool::{user_seed, TrainerPool};
 pub use report::{JobOutcome, TrainReport};
 pub use rollback::{run_rollback_study, RollbackConfig, RollbackOutcome, RollbackReport};
+pub use staleness::{count_degraded_after_swap, StalenessWindow};

@@ -427,15 +427,11 @@ pub fn run_rollback_study(cfg: &RollbackConfig) -> RollbackOutcome {
         flow.detected_at.expect("canary must detect the regression before the query horizon");
     let swap_times: Vec<u64> =
         flow.swaps.iter().map(|s| s.expect("every replica rolled back")).collect();
-    let first_swap_us = *swap_times.iter().min().expect("users > 0");
-    let last_swap_us = *swap_times.iter().max().expect("users > 0");
+    let window = crate::staleness::StalenessWindow::measure(detected_at_us, &swap_times);
 
     let queries_degraded = flow.query_log.iter().filter(|(_, _, d)| *d).count();
-    let queries_degraded_after_swap = flow
-        .query_log
-        .iter()
-        .filter(|(end, user, degraded)| *degraded && *end > swap_times[*user])
-        .count();
+    let queries_degraded_after_swap =
+        crate::staleness::count_degraded_after_swap(&flow.query_log, &swap_times);
 
     let stats = registry.stats();
     let report = RollbackReport {
@@ -444,10 +440,10 @@ pub fn run_rollback_study(cfg: &RollbackConfig) -> RollbackOutcome {
         detected_at_us,
         detection_lag_us: detected_at_us - cfg.regress_at_us,
         agreement_at_detection: flow.agreement_at_detection,
-        first_swap_us,
-        last_swap_us,
-        staleness_us: last_swap_us - detected_at_us,
-        exposure_us: last_swap_us - cfg.regress_at_us,
+        first_swap_us: window.first_swap_us,
+        last_swap_us: window.last_swap_us,
+        staleness_us: window.staleness_us(),
+        exposure_us: window.exposure_us(cfg.regress_at_us),
         push_wait_p95_us: stage_stats(&outcome, "rollback-push").wait_p95_us,
         queries_total: flow.query_log.len(),
         queries_degraded,

@@ -1,0 +1,128 @@
+//! A/B experimentation smoke: two defense rungs tried on live cohorts.
+//!
+//! The campus population splits into A / B / holdout cohorts by seeded
+//! hash, every user trains once and publishes shadow-then-active
+//! envelopes, and a front-door red team attacks each treatment arm
+//! strictly through the serving interface while background queries keep
+//! flowing. At the checkpoint the verdict engine compares per-arm attack
+//! advantage, promotes the winning rung fleet-wide, and flips the losing
+//! cohort back to its retained shadow version — a store rollback, not a
+//! retrain.
+//!
+//! The example pins the loop's contracts:
+//!
+//! * the same fingerprint for a 1-worker and a 4-worker trainer pool;
+//! * the undefended arm loses to the hard temperature rung, and the
+//!   rollout moves exactly the losing cohort plus the holdout;
+//! * zero responses served from the losing rung after its flip lands;
+//! * an A/A control (identical rungs) decides null and moves nobody.
+//!
+//! Run with: `cargo run --release --example fleet_abx`
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use pelican::platform::ComputeTier;
+use pelican::{DefenseKind, PersonalizationConfig};
+use pelican_abx::{run_abx, AbxConfig, Arm};
+use pelican_mobility::{CampusConfig, DatasetBuilder, MobilityDataset, Scale, SpatialLevel};
+use pelican_nn::{SequenceModel, TrainConfig};
+use pelican_serve::{RegistryConfig, SchedulerConfig, ShardedRegistry, SimServeConfig};
+use pelican_store::{EnvelopeStore, MemBackend, StoreConfig};
+use pelican_train::{AuditConfig, PipelineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SHARDS: usize = 2;
+
+fn setting() -> (MobilityDataset, SequenceModel, Range<usize>) {
+    let dataset =
+        DatasetBuilder::new(CampusConfig::for_scale(Scale::Tiny), 42).build(SpatialLevel::Building);
+    let mut rng = StdRng::seed_from_u64(42);
+    let general =
+        SequenceModel::general_lstm(dataset.space.dim(), 12, dataset.n_locations(), 0.1, &mut rng);
+    let n = dataset.users.len();
+    (dataset, general, 0..n)
+}
+
+fn registry(general: &SequenceModel) -> ShardedRegistry {
+    let store = EnvelopeStore::open(
+        Arc::new(MemBackend::new()),
+        StoreConfig { shards: SHARDS, ..StoreConfig::default() },
+    )
+    .expect("open empty store");
+    ShardedRegistry::with_store(
+        general.clone(),
+        RegistryConfig { shards: SHARDS, ..RegistryConfig::default() },
+        Arc::new(store),
+    )
+}
+
+fn config(workers: usize, arms: [DefenseKind; 2]) -> AbxConfig {
+    AbxConfig {
+        pipeline: PipelineConfig {
+            workers,
+            personalization: PersonalizationConfig {
+                train: TrainConfig { epochs: 1, ..TrainConfig::default() },
+                hidden_dim: 12,
+                ..PersonalizationConfig::default()
+            },
+            audit: AuditConfig { max_instances: 8, probe_count: 8, ..AuditConfig::default() },
+            ..PipelineConfig::default()
+        },
+        serve: SimServeConfig {
+            scheduler: SchedulerConfig { max_batch: 4, max_delay_us: 900 },
+            tier: ComputeTier::Cloud,
+            network: None,
+        },
+        arms,
+        fractions: (0.34, 0.33),
+        attacked_per_arm: 4,
+        us_per_minute: 1_000,
+        horizon_minutes: 9 * 24 * 60,
+        checkpoint_interval_us: 50_000_000,
+        null_margin: 0.10,
+        ..AbxConfig::default()
+    }
+}
+
+fn main() {
+    let (dataset, general, cohort) = setting();
+    let treatment = [DefenseKind::None, DefenseKind::Temperature { temperature: 1e-5 }];
+
+    let narrow_registry = registry(&general);
+    let narrow =
+        run_abx(&dataset, cohort.clone(), &narrow_registry, &general, &config(1, treatment))
+            .expect("1-worker run");
+    let wide_registry = registry(&general);
+    let wide = run_abx(&dataset, cohort.clone(), &wide_registry, &general, &config(4, treatment))
+        .expect("4-worker run");
+
+    print!("{}", narrow.render());
+    narrow.split.assert_partitions(narrow.publications.iter().map(|p| p.user_id));
+    assert_eq!(
+        narrow.fingerprint(),
+        wide.fingerprint(),
+        "the verdict must not depend on pool width"
+    );
+    println!("\nwidth         : 1-worker and 4-worker experiments agree bit-for-bit ✓");
+
+    assert_eq!(narrow.verdict.winner(), Some(Arm::B), "the hard rung must win this seed");
+    assert_eq!(narrow.flip_backs(), narrow.split.a.len(), "every losing user flips back");
+    assert_eq!(narrow.promotions(), narrow.split.holdout.len(), "the holdout adopts the winner");
+    assert_eq!(narrow.degraded_after_swap, 0, "no losing-rung answer after a landed flip");
+    println!(
+        "rollout       : {} flip-backs + {} promotions, zero degraded after swap ✓",
+        narrow.flip_backs(),
+        narrow.promotions()
+    );
+
+    // A/A control: identical rungs are indistinguishable and move nobody.
+    let control = DefenseKind::Temperature { temperature: 1e-3 };
+    let aa_registry = registry(&general);
+    let aa = run_abx(&dataset, cohort, &aa_registry, &general, &config(1, [control; 2]))
+        .expect("A/A run");
+    assert!(aa.verdict.is_null(), "identical rungs must read null: {}", aa.verdict);
+    assert!(aa.swaps.is_empty() && aa.exposed_responses == 0);
+    println!("A/A control   : null verdict (Δ {:+.3}), nobody moved ✓", aa.verdict.delta());
+}
