@@ -9,7 +9,7 @@
 //! | [`defense`] | Fig. 5a, Fig. 5b, Fig. 5c |
 //! | [`ablation`] | defense comparison, interest threshold, GD config, freeze depth |
 //! | [`serving`] | fleet-serving throughput/latency (beyond the paper; ROADMAP north star) |
-//! | [`training`] | fleet-training pipeline: parallel personalization + audit gate (beyond the paper) |
+//! | [`training`] | fleet-training pipeline: parallel personalization + audit gate; lockstep batched-cohort sweep (beyond the paper) |
 //! | [`network`] | device↔cloud network simulation: link-mix × retry sweep, contention, cloud RTT (beyond the paper) |
 //! | [`cosim`] | closed-loop network/compute co-simulation: open vs. closed loops, width invariance, sim-driven scheduler fidelity (beyond the paper) |
 //! | [`sim_scale`] | sim-core scaling: timer-wheel events/sec, memory and shard invariance at 10⁴–10⁶ devices (beyond the paper) |
@@ -152,6 +152,11 @@ static REGISTRY: &[Entry] = &[
         name: "train-report",
         description: "fleet training: parallel personalization, audit gate, enroll latency",
         run: run_train_report,
+    },
+    Entry {
+        name: "train-batched",
+        description: "lockstep batched training: epoch throughput vs cohort size, fused share",
+        run: run_train_batched,
     },
     Entry {
         name: "net-report",
@@ -320,6 +325,20 @@ fn run_train_report(config: &RunConfig) {
     println!("{}", training::table(&outcomes).render());
     println!("(published weights and audit verdicts verified bit-identical across widths;");
     println!(" speedup is host wall clock, so it reflects this machine's core count)");
+}
+
+fn run_train_batched(config: &RunConfig) {
+    banner("Lockstep batched training — fused cohorts vs sequential dispatch", config);
+    let run = training::run_batched(config);
+    println!("trained weights and FLOP counts verified bit-identical across cohort sizes;");
+    println!("wall clock covers the training stage only (audit and publication run identical");
+    println!("code in both dispatch modes); single worker, so speedup is the fused-kernel win\n");
+    println!("{}", training::batched_table(&run).render());
+    let json = training::to_json(&run);
+    match std::fs::write("BENCH_train_batched.json", &json) {
+        Ok(()) => println!("wrote BENCH_train_batched.json"),
+        Err(e) => eprintln!("could not write BENCH_train_batched.json: {e}"),
+    }
 }
 
 fn run_net_report(config: &RunConfig) {

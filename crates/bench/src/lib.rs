@@ -33,11 +33,21 @@ pub struct RunConfig {
     /// Device population override for fleet-scale experiments
     /// (None = the experiment's default population ladder).
     pub devices: Option<usize>,
+    /// Lockstep cohort size for the training pipeline (None = the
+    /// experiment's default; 0/1 = sequential per-job dispatch).
+    pub cohort: Option<usize>,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        Self { scale: Scale::Small, seed: 42, users: None, instances_per_user: 8, devices: None }
+        Self {
+            scale: Scale::Small,
+            seed: 42,
+            users: None,
+            instances_per_user: 8,
+            devices: None,
+            cohort: None,
+        }
     }
 }
 
@@ -96,9 +106,14 @@ pub fn parse_args(args: &[String]) -> Result<RunConfig, String> {
                 }
                 config.devices = Some(n);
             }
+            "--cohort" => {
+                let v = take("--cohort")?;
+                config.cohort = Some(v.parse().map_err(|_| format!("bad cohort size '{v}'"))?);
+            }
             other => {
                 return Err(format!(
-                    "unknown flag '{other}' (valid: --scale --seed --users --instances --devices)"
+                    "unknown flag '{other}' (valid: --scale --seed --users --instances --devices \
+                     --cohort)"
                 ))
             }
         }
@@ -145,5 +160,14 @@ mod tests {
         assert_eq!(c.devices, Some(10_000));
         assert!(parse_args(&s(&["--devices", "0"])).is_err());
         assert!(parse_args(&s(&["--devices", "lots"])).is_err());
+    }
+
+    #[test]
+    fn parse_cohort() {
+        let c = parse_args(&s(&["--cohort", "8"])).unwrap();
+        assert_eq!(c.cohort, Some(8));
+        assert_eq!(parse_args(&[]).unwrap().cohort, None);
+        assert_eq!(parse_args(&s(&["--cohort", "0"])).unwrap().cohort, Some(0));
+        assert!(parse_args(&s(&["--cohort", "many"])).is_err());
     }
 }

@@ -93,20 +93,41 @@ pub fn personalize(
     method: PersonalizationMethod,
     config: &PersonalizationConfig,
 ) -> (SequenceModel, FitReport) {
-    let empty_report = FitReport { epoch_losses: Vec::new(), steps: 0, samples_per_epoch: 0 };
+    let mut model = prepare(general, method, config);
+    let report = match method {
+        PersonalizationMethod::Reuse => {
+            FitReport { epoch_losses: Vec::new(), steps: 0, samples_per_epoch: 0 }
+        }
+        _ => fit(&mut model, samples, &config.train),
+    };
+    (model, report)
+}
+
+/// Builds the to-be-trained model for `method` without training it —
+/// the deterministic prefix of [`personalize`].
+///
+/// `personalize(g, s, m, c)` ≡ `prepare(g, m, c)` followed by
+/// [`pelican_nn::fit`] with `c.train` (for methods that train). Splitting
+/// the two lets the lockstep trainer pool construct a whole cohort's
+/// initial models — consuming each user's init RNG exactly as the
+/// sequential path would — and then train them together through
+/// [`pelican_nn::fit_lockstep`].
+pub fn prepare(
+    general: &SequenceModel,
+    method: PersonalizationMethod,
+    config: &PersonalizationConfig,
+) -> SequenceModel {
     match method {
-        PersonalizationMethod::Reuse => (general.clone(), empty_report),
+        PersonalizationMethod::Reuse => general.clone(),
         PersonalizationMethod::Lstm => {
             let mut rng = StdRng::seed_from_u64(config.seed);
-            let mut model = SequenceModel::single_lstm(
+            SequenceModel::single_lstm(
                 general.input_dim(),
                 config.hidden_dim,
                 general.output_dim(),
                 config.dropout,
                 &mut rng,
-            );
-            let report = fit(&mut model, samples, &config.train);
-            (model, report)
+            )
         }
         PersonalizationMethod::TlFeatureExtract => {
             let mut model = general.clone();
@@ -117,8 +138,7 @@ pub fn personalize(
             // The fresh LSTM trains; so does the head it feeds.
             let last = model.layers().len() - 1;
             model.layers_mut()[last].set_trainable(true);
-            let report = fit(&mut model, samples, &config.train);
-            (model, report)
+            model
         }
         PersonalizationMethod::TlFineTune => {
             let mut model = general.clone();
@@ -133,8 +153,7 @@ pub fn personalize(
                     layer.set_trainable(true);
                 }
             }
-            let report = fit(&mut model, samples, &config.train);
-            (model, report)
+            model
         }
     }
 }

@@ -51,8 +51,8 @@ use pelican_sim::{
 };
 use pelican_store::StoreError;
 use pelican_train::{
-    AuditSubject, FleetTrainer, GateOutcome, JobKind, LogitCache, PipelineConfig, TrainJob,
-    TrainerPool,
+    form_cohorts, AuditSubject, FleetTrainer, GateOutcome, JobKind, LogitCache, PipelineConfig,
+    TrainJob, TrainerPool,
 };
 
 use crate::drift::{DriftConfig, DriftDetector};
@@ -466,10 +466,7 @@ impl LiveFlow<'_> {
         let space = self.space;
         let general_envelope = &self.general_envelope;
         let pool = TrainerPool::new(trainer.config().workers);
-        let results: Vec<RetrainResult> = pool.run(&jobs, |_, job| {
-            let ((candidate, _fit), train_usage) = measure_thread(ComputeTier::Device, || {
-                trainer.train_candidate(general_envelope, job)
-            });
+        let audit_one = |job: &TrainJob, candidate: SequenceModel, train_us: u64| {
             let ((published, gate, cache), audit_usage) =
                 measure_thread(ComputeTier::Device, || {
                     trainer.gate().admit_with_cache(candidate, space, &job.subject)
@@ -479,10 +476,44 @@ impl LiveFlow<'_> {
                 published_model: published,
                 gate,
                 cache,
-                train_simulated_us: train_usage.simulated.as_micros() as u64,
+                train_simulated_us: train_us,
                 audit_simulated_us: audit_usage.simulated.as_micros() as u64,
             }
-        });
+        };
+        let results: Vec<RetrainResult> = if trainer.config().cohort > 1 {
+            // Lockstep dispatch: the steal unit is a cohort of warm jobs
+            // with same-size envelopes (a fixed byte width per
+            // architecture). `pool.run` returns cohorts in job order and
+            // each cohort's results are in job order, so flattening
+            // preserves the publication order — and every per-job
+            // simulated duration is bit-identical to the per-job path, so
+            // the occupancy ends (the publication instants) are too.
+            let cohorts = form_cohorts(&jobs, trainer.config().cohort, |job| match &job.kind {
+                JobKind::WarmStart { envelope } => envelope.len() as u64,
+                JobKind::Fresh => unreachable!("retrain rounds only dispatch warm jobs"),
+            });
+            pool.run(&cohorts, |_, range| {
+                let chunk = &jobs[range.clone()];
+                trainer
+                    .train_candidates_lockstep(general_envelope, chunk)
+                    .into_iter()
+                    .zip(chunk)
+                    .map(|((candidate, _fit, train_usage), job)| {
+                        audit_one(job, candidate, train_usage.simulated.as_micros() as u64)
+                    })
+                    .collect::<Vec<RetrainResult>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            pool.run(&jobs, |_, job| {
+                let ((candidate, _fit), train_usage) = measure_thread(ComputeTier::Device, || {
+                    trainer.train_candidate(general_envelope, job)
+                });
+                audit_one(job, candidate, train_usage.simulated.as_micros() as u64)
+            })
+        };
 
         // Each job's exact device cost occupies the shared trainer
         // resource; publication happens when the occupancy ends.

@@ -127,6 +127,51 @@ fn quiescent_loop_reduces_to_the_one_shot_pipeline() {
 }
 
 #[test]
+fn lockstep_cohorts_leave_the_publication_schedule_untouched() {
+    // The dispatch-order contract, pinned end-to-end: switching the
+    // retrain rounds to lockstep cohort dispatch (any cohort size, any
+    // pool width) must not move a single publication instant, envelope
+    // byte or gate verdict on the virtual clock.
+    let (dataset, general, users) = tiny_setting();
+    let run_with = |workers: usize, cohort: usize| {
+        let registry = store_backed_registry(&general);
+        let mut config = fast_config(workers, eager());
+        config.pipeline.cohort = cohort;
+        let outcome =
+            run_live(&dataset, users.clone(), &registry, &general, &config).expect("live run");
+        let envelopes: Vec<Option<Vec<u8>>> = users
+            .clone()
+            .map(|u| {
+                let store = registry.store().unwrap();
+                store.fetch_latest(u as u64).unwrap().map(|e| e.as_bytes().to_vec())
+            })
+            .collect();
+        (outcome, envelopes)
+    };
+
+    let (baseline, baseline_envelopes) = run_with(1, 0);
+    assert!(!baseline.retrains.is_empty(), "an eager trigger must re-train");
+    for (workers, cohort) in [(1, 8), (2, 2), (8, 8)] {
+        let (lockstep, envelopes) = run_with(workers, cohort);
+        assert_eq!(
+            baseline.fingerprint(),
+            lockstep.fingerprint(),
+            "publication schedule must not depend on cohort size \
+             (workers {workers}, cohort {cohort})"
+        );
+        assert_eq!(baseline_envelopes, envelopes, "durable envelope bytes diverged");
+        assert_eq!(baseline.retrains.len(), lockstep.retrains.len());
+        for (a, b) in baseline.retrains.iter().zip(&lockstep.retrains) {
+            assert_eq!(a.user_id, b.user_id);
+            assert_eq!(a.publish_us, b.publish_us, "publication instant moved");
+            assert_eq!(a.envelope_hash, b.envelope_hash);
+            assert_eq!(a.gate, b.gate);
+            assert_eq!(a.train_simulated_us, b.train_simulated_us);
+        }
+    }
+}
+
+#[test]
 fn drifting_loop_is_width_invariant_and_reaudits_for_free() {
     let (dataset, general, users) = tiny_setting();
 

@@ -1,0 +1,124 @@
+//! Packed sample-major batch representation for the lockstep chunk path.
+//!
+//! The sequential training path hands `Vec<Vec<Vec<f32>>>` sequences
+//! between layers; at mobile-scale layer widths the per-timestep heap
+//! vectors cost more than the arithmetic they carry. The chunk path
+//! instead threads one [`ChunkBatch`] — a single row-major [`Matrix`]
+//! holding every timestep of every sample, plus the ragged-length
+//! bookkeeping — through the whole forward/backward pipeline, so each
+//! layer boundary moves one allocation instead of one per sample-step.
+//!
+//! Row `offsets[i] + t` is sample `i`'s timestep `t`. Packing order is
+//! sample-major (all of sample 0, then sample 1, …); every kernel in the
+//! chunk path processes rows independently or in an explicitly documented
+//! order, so the layout is purely a memory-level choice — the FP
+//! operations and their order are identical to the sequential path.
+
+use pelican_tensor::Matrix;
+
+use crate::Sequence;
+
+/// A chunk of ragged sequences packed into one sample-major matrix.
+#[derive(Debug, Clone)]
+pub(crate) struct ChunkBatch {
+    /// Per-sample sequence lengths.
+    pub lens: Vec<usize>,
+    /// Row offset of each sample's `t = 0`; `lens.len() + 1` entries, the
+    /// last being the total row count.
+    pub offsets: Vec<usize>,
+    /// Packed rows, `total × dim`.
+    pub rows: Matrix,
+}
+
+impl ChunkBatch {
+    /// Packs borrowed sequences into one matrix without cloning the
+    /// nested vectors. `dim` is the row width (needed explicitly so an
+    /// empty chunk still carries the right shape).
+    pub fn pack<'a, I>(seqs: I, dim: usize) -> Self
+    where
+        I: IntoIterator<Item = &'a Sequence>,
+        I::IntoIter: Clone,
+    {
+        let it = seqs.into_iter();
+        let lens: Vec<usize> = it.clone().map(|s| s.len()).collect();
+        let offsets = Self::offsets_of(&lens);
+        let total = *offsets.last().expect("offsets always has a final total entry");
+        let mut rows = Matrix::zeros(total, dim);
+        for (i, seq) in it.enumerate() {
+            for (t, step) in seq.iter().enumerate() {
+                rows.row_mut(offsets[i] + t).copy_from_slice(step);
+            }
+        }
+        Self { lens, offsets, rows }
+    }
+
+    /// Prefix-sum row offsets for a set of sequence lengths.
+    pub fn offsets_of(lens: &[usize]) -> Vec<usize> {
+        let mut offsets = Vec::with_capacity(lens.len() + 1);
+        let mut total = 0usize;
+        for &len in lens {
+            offsets.push(total);
+            total += len;
+        }
+        offsets.push(total);
+        offsets
+    }
+
+    /// Number of samples in the chunk.
+    pub fn samples(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// Total packed rows.
+    pub fn total(&self) -> usize {
+        self.offsets[self.lens.len()]
+    }
+
+    /// Row `t` of sample `i`.
+    pub fn row(&self, i: usize, t: usize) -> &[f32] {
+        self.rows.row(self.offsets[i] + t)
+    }
+
+    /// The final timestep's row of sample `i` — what sequence-to-one
+    /// losses consume.
+    pub fn last_row(&self, i: usize) -> &[f32] {
+        self.rows.row(self.offsets[i + 1] - 1)
+    }
+
+    /// Unpacks into the nested per-sample representation (compatibility
+    /// with the unpacked chunk API; the hot path never calls this).
+    pub fn unpack(&self) -> Vec<Sequence> {
+        (0..self.samples())
+            .map(|i| (0..self.lens[i]).map(|t| self.row(i, t).to_vec()).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_round_trips_ragged_sequences() {
+        let seqs: Vec<Sequence> = vec![
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            vec![vec![5.0, 6.0]],
+            vec![vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]],
+        ];
+        let batch = ChunkBatch::pack(seqs.iter(), 2);
+        assert_eq!(batch.lens, vec![2, 1, 3]);
+        assert_eq!(batch.offsets, vec![0, 2, 3, 6]);
+        assert_eq!(batch.total(), 6);
+        assert_eq!(batch.row(2, 1), &[9.0, 10.0]);
+        assert_eq!(batch.last_row(0), &[3.0, 4.0]);
+        assert_eq!(batch.unpack(), seqs);
+    }
+
+    #[test]
+    fn empty_chunk_keeps_its_width() {
+        let batch = ChunkBatch::pack(std::iter::empty(), 7);
+        assert_eq!(batch.samples(), 0);
+        assert_eq!(batch.total(), 0);
+        assert_eq!(batch.rows.cols(), 7);
+    }
+}

@@ -4,6 +4,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::chunk::ChunkBatch;
 use crate::{Sequence, Step};
 
 /// Inverted dropout: active during training, identity at inference.
@@ -24,6 +25,13 @@ pub struct Dropout {
     draws: u64,
     #[serde(skip)]
     masks: Vec<Vec<f32>>,
+    /// Flat mask cache written by [`Dropout::forward_chunk_packed`]
+    /// (`None` when the last packed forward was an identity pass at rate
+    /// zero), plus the chunk's per-sample lengths for shape checking.
+    #[serde(skip)]
+    chunk_masks: Option<Vec<f32>>,
+    #[serde(skip)]
+    chunk_lens: Vec<usize>,
 }
 
 impl Dropout {
@@ -35,7 +43,7 @@ impl Dropout {
     /// Panics unless `0 <= rate < 1`.
     pub fn new(rate: f32, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1), got {rate}");
-        Self { rate, seed, draws: 0, masks: Vec::new() }
+        Self { rate, seed, draws: 0, masks: Vec::new(), chunk_masks: None, chunk_lens: Vec::new() }
     }
 
     /// The configured drop probability.
@@ -84,6 +92,66 @@ impl Dropout {
     pub fn forward_identity(&mut self, xs: &Sequence) -> Sequence {
         self.masks = xs.iter().map(|x| vec![1.0; x.len()]).collect();
         xs.clone()
+    }
+
+    /// Lockstep training-mode forward pass over a packed chunk, masking
+    /// the batch in place.
+    ///
+    /// Each sample consumes exactly one counter-based mask draw in chunk
+    /// order — the same draw indices the sequential path's per-sample
+    /// [`Dropout::forward`] calls would consume (the backward pass draws
+    /// nothing, so running all forwards first leaves every sample's draw
+    /// index unchanged). A zero rate consumes no draws and passes the
+    /// batch through untouched, matching [`Dropout::forward`]. Masked
+    /// outputs are bit-identical to the sequential path.
+    pub(crate) fn forward_chunk_packed(&mut self, mut x: ChunkBatch) -> ChunkBatch {
+        self.chunk_lens = x.lens.clone();
+        if self.rate == 0.0 {
+            self.chunk_masks = None;
+            return x;
+        }
+        let keep = 1.0 - self.rate;
+        let inv_keep = 1.0 / keep;
+        let dim = x.rows.cols();
+        let mut masks = vec![0.0f32; x.total() * dim];
+        for i in 0..x.lens.len() {
+            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(self.draws));
+            self.draws = self.draws.wrapping_add(1);
+            for t in 0..x.lens[i] {
+                let row = x.offsets[i] + t;
+                let mask = &mut masks[row * dim..(row + 1) * dim];
+                for mv in mask.iter_mut() {
+                    *mv = if rng.random_range(0.0..1.0) < keep { inv_keep } else { 0.0 };
+                }
+                for (v, &mv) in x.rows.row_mut(row).iter_mut().zip(mask.iter()) {
+                    *v *= mv;
+                }
+            }
+        }
+        self.chunk_masks = Some(masks);
+        x
+    }
+
+    /// Lockstep backward pass through the flat masks cached by
+    /// [`Dropout::forward_chunk_packed`], scaling the gradient batch in
+    /// place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Dropout::forward_chunk_packed`] or with
+    /// mismatched gradient shapes.
+    pub(crate) fn backward_chunk_packed(&mut self, mut grad: ChunkBatch) -> ChunkBatch {
+        assert_eq!(
+            grad.lens, self.chunk_lens,
+            "backward_chunk_packed gradient lengths do not match cached chunk"
+        );
+        if let Some(masks) = &self.chunk_masks {
+            assert_eq!(grad.rows.len(), masks.len(), "gradient width differs from cached masks");
+            for (g, &mv) in grad.rows.as_mut_slice().iter_mut().zip(masks) {
+                *g *= mv;
+            }
+        }
+        grad
     }
 
     /// Backpropagates through the cached masks.

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::chunk::ChunkBatch;
 use crate::{Dropout, Linear, Lstm, Sequence, Step};
 
 /// One layer of a [`crate::SequenceModel`].
@@ -57,6 +58,29 @@ impl Layer {
             Layer::Lstm(l) => l.backward(grad_out),
             Layer::Linear(l) => l.backward(grad_out),
             Layer::Dropout(d) => d.backward(grad_out),
+        }
+    }
+
+    /// Lockstep training-mode forward pass over a packed chunk through the
+    /// fused batch kernels; bit-identical (outputs, caches and recorded
+    /// FLOPs) to calling [`Layer::forward`] once per sample in chunk
+    /// order. See [`Lstm::forward_chunk_packed`].
+    pub(crate) fn forward_chunk_packed(&mut self, x: ChunkBatch) -> ChunkBatch {
+        match self {
+            Layer::Lstm(l) => l.forward_chunk_packed(x),
+            Layer::Linear(l) => l.forward_chunk_packed(x),
+            Layer::Dropout(d) => d.forward_chunk_packed(x),
+        }
+    }
+
+    /// Lockstep backward pass over a packed chunk; bit-identical gradients
+    /// and recorded FLOPs to calling [`Layer::backward`] once per sample
+    /// in chunk order. See [`Lstm::backward_chunk_packed`].
+    pub(crate) fn backward_chunk_packed(&mut self, grad: ChunkBatch) -> ChunkBatch {
+        match self {
+            Layer::Lstm(l) => l.backward_chunk_packed(grad),
+            Layer::Linear(l) => l.backward_chunk_packed(grad),
+            Layer::Dropout(d) => d.backward_chunk_packed(grad),
         }
     }
 

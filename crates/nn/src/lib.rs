@@ -36,9 +36,11 @@
 //! assert_eq!(probs.len(), 4);
 //! ```
 
+mod chunk;
 pub mod dropout;
 pub mod layer;
 pub mod linear;
+pub mod lockstep;
 pub mod loss;
 pub mod lstm;
 pub mod metrics;
@@ -50,7 +52,8 @@ pub mod train;
 pub use dropout::Dropout;
 pub use layer::Layer;
 pub use linear::Linear;
-pub use loss::softmax_cross_entropy;
+pub use lockstep::{fit_lockstep, LockstepJob, LockstepOutcome};
+pub use loss::{softmax_cross_entropy, softmax_cross_entropy_chunk};
 pub use lstm::Lstm;
 pub use metrics::{top_k_accuracy, TopKAccuracy};
 pub use model::{query_hash, ModelBuilder, Postprocess, SequenceModel};

@@ -4,6 +4,7 @@ use pelican_tensor::Matrix;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::chunk::ChunkBatch;
 use crate::{Sequence, Step};
 
 /// A fully-connected layer, `y = W·x + b`, applied per timestep.
@@ -24,6 +25,9 @@ pub struct Linear {
     grad_b: Vec<f32>,
     #[serde(skip)]
     cache_inputs: Sequence,
+    /// Packed input cache written by [`Linear::forward_chunk_packed`].
+    #[serde(skip)]
+    chunk_inputs: Option<ChunkBatch>,
 }
 
 impl Linear {
@@ -37,6 +41,7 @@ impl Linear {
             grad_w: None,
             grad_b: Vec::new(),
             cache_inputs: Vec::new(),
+            chunk_inputs: None,
         }
     }
 
@@ -48,7 +53,15 @@ impl Linear {
     /// Panics if `b.len() != w.rows()`.
     pub fn from_parts(w: Matrix, b: Vec<f32>) -> Self {
         assert_eq!(b.len(), w.rows(), "bias length must equal output dimension");
-        Self { w, b, trainable: true, grad_w: None, grad_b: Vec::new(), cache_inputs: Vec::new() }
+        Self {
+            w,
+            b,
+            trainable: true,
+            grad_w: None,
+            grad_b: Vec::new(),
+            cache_inputs: Vec::new(),
+            chunk_inputs: None,
+        }
     }
 
     /// Input feature dimension.
@@ -151,6 +164,70 @@ impl Linear {
             }
         }
         grad_out.iter().map(|g| self.w.matvec_transpose(g)).collect()
+    }
+
+    /// Lockstep training-mode forward pass over a packed chunk; keeps the
+    /// packed inputs (by move — no clone) for
+    /// [`Linear::backward_chunk_packed`].
+    ///
+    /// One GEMM over every timestep of every sample plus a per-row bias
+    /// add — the [`Linear::infer_batch`] discipline — so outputs and
+    /// recorded FLOPs are bit-identical to calling [`Linear::forward`]
+    /// per sample.
+    pub(crate) fn forward_chunk_packed(&mut self, x: ChunkBatch) -> ChunkBatch {
+        let mut ys = x.rows.matmul_transpose(&self.w);
+        for r in 0..ys.rows() {
+            for (yv, &bv) in ys.row_mut(r).iter_mut().zip(&self.b) {
+                *yv += bv;
+            }
+        }
+        let out = ChunkBatch { lens: x.lens.clone(), offsets: x.offsets.clone(), rows: ys };
+        self.chunk_inputs = Some(x);
+        out
+    }
+
+    /// Lockstep backward pass over a packed chunk.
+    ///
+    /// Weight-gradient accumulation runs as one fused
+    /// [`Matrix::rank_updates`] with contributions in natural packed row
+    /// order — exactly the order the sequential path applies them
+    /// (sample-major, timestep-ascending) — and the input gradients of
+    /// every timestep of every sample come from a single GEMM.
+    /// Bit-identical state and recorded FLOPs versus calling
+    /// [`Linear::backward`] once per sample in chunk order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Linear::forward_chunk_packed`] or with
+    /// mismatched gradient shapes.
+    pub(crate) fn backward_chunk_packed(&mut self, grad: ChunkBatch) -> ChunkBatch {
+        let cached = self.chunk_inputs.as_ref().expect("backward_chunk_packed before forward");
+        assert_eq!(
+            grad.lens, cached.lens,
+            "backward_chunk_packed gradient lengths do not match cached chunk"
+        );
+        if self.trainable {
+            let gw = self.grad_w.get_or_insert_with(|| Matrix::zeros(self.w.rows(), self.w.cols()));
+            if self.grad_b.len() != self.b.len() {
+                self.grad_b = vec![0.0; self.b.len()];
+            }
+            let total = grad.total();
+            let mut updates = Vec::with_capacity(total);
+            for r in 0..total {
+                updates.push((grad.rows.row(r), cached.rows.row(r)));
+            }
+            gw.rank_updates(1.0, &updates);
+            for r in 0..total {
+                for (db, &gv) in self.grad_b.iter_mut().zip(grad.rows.row(r)) {
+                    *db += gv;
+                }
+            }
+        }
+        // One GEMM for every timestep of every sample: `G · W` matches the
+        // per-row bits of `matvec_transpose(g)` (same k order, same
+        // zero-skip on the gradient element).
+        let dx = grad.rows.matmul(&self.w);
+        ChunkBatch { lens: grad.lens, offsets: grad.offsets, rows: dx }
     }
 
     /// Visits `(param, grad)` pairs as flat slices; used by optimizers.

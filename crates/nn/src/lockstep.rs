@@ -1,0 +1,289 @@
+//! Lockstep batched training of many same-shape user models.
+//!
+//! The fleet personalization pipeline trains one [`SequenceModel`] per
+//! user. Run sequentially (see [`crate::fit`]), every LSTM timestep is a
+//! GEMV-shaped product that streams the weight matrices through memory
+//! once per sample. [`fit_lockstep`] instead drives a *cohort* of user
+//! training jobs epoch-by-epoch and mini-batch-by-mini-batch in lockstep,
+//! pushing each user's whole mini-batch through the fused chunk kernels
+//! ([`SequenceModel::forward_chunk`] /
+//! [`SequenceModel::backward_chunk_from_logits`]): each LSTM timestep's
+//! gate computation becomes one GEMM over the chunk's active samples, the
+//! `Linear` head becomes one GEMM over every timestep of every sample,
+//! and weight-gradient accumulation becomes one fused
+//! [`pelican_tensor::Matrix::rank_updates`] per weight matrix.
+//!
+//! # The bit-identity contract
+//!
+//! The repo's signature guarantee carries over from the batched *serving*
+//! path (`Lstm::infer_batch`): every user's trained weights, epoch
+//! losses, and recorded FLOPs are **bit-identical** to running
+//! [`crate::fit`] on that user alone. The discipline:
+//!
+//! * every fused kernel preserves strict per-row `k`-order accumulation
+//!   and the sequential zero-skip rules, so forward activations and
+//!   backward gradients match bit for bit;
+//! * gradient contributions feed the fused rank-update kernels in exactly
+//!   the order the sequential loop applies them (sample-major, timestep
+//!   descending for LSTM, ascending for `Linear`);
+//! * per-user RNG streams are untouched: each job keeps its own shuffle
+//!   RNG seeded from its `shuffle_seed`, and dropout draws one
+//!   counter-based mask per sample in chunk order — the same indices the
+//!   sequential per-sample forwards would consume;
+//! * gradient averaging stays **per user**: each job owns its optimizer
+//!   (and its Adam moment state), and `optimizer.step` sees only that
+//!   user's model and that user's chunk length. Nothing is averaged
+//!   across users.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pelican_tensor::thread_flops_now;
+
+use crate::chunk::ChunkBatch;
+use crate::train::{shuffle, FitReport};
+use crate::{softmax_cross_entropy_chunk, Sample, SequenceModel, Step, TrainConfig};
+
+/// One user's training job in a lockstep cohort.
+#[derive(Debug)]
+pub struct LockstepJob<'a> {
+    /// The user's model, trained in place.
+    pub model: &'a mut SequenceModel,
+    /// The user's training samples.
+    pub samples: &'a [Sample],
+    /// The user's hyperparameters (including their private shuffle seed).
+    pub config: TrainConfig,
+}
+
+/// Per-user outcome of a [`fit_lockstep`] cohort.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LockstepOutcome {
+    /// The user's training report — bit-identical to what [`crate::fit`]
+    /// would have returned for the same job.
+    pub fit: FitReport,
+    /// FLOPs attributable to this user's job (the cohort driver is
+    /// single-threaded, so per-user thread-counter deltas partition the
+    /// cohort's total exactly). Equal to the sequential path's count.
+    pub flops: u64,
+    /// Host wall-clock time spent on this user's chunks.
+    pub host_elapsed: Duration,
+}
+
+/// Trains a cohort of user models in lockstep through the fused chunk
+/// kernels.
+///
+/// Jobs advance epoch-by-epoch and mini-batch-by-mini-batch together;
+/// jobs with fewer epochs or chunks simply drop out of the active set
+/// (the ragged-cohort analogue of `infer_batch`'s active-set handling).
+/// Each user's weights, [`FitReport`], and recorded FLOPs are
+/// bit-identical to calling [`crate::fit`] on that job alone — see the
+/// module docs for the full contract.
+///
+/// # Panics
+///
+/// Panics if any job has no samples or a zero batch size (the same
+/// preconditions as [`crate::fit`]).
+pub fn fit_lockstep(jobs: &mut [LockstepJob<'_>]) -> Vec<LockstepOutcome> {
+    struct UserState {
+        rng: StdRng,
+        order: Vec<usize>,
+        epoch_loss: f32,
+        outcome: LockstepOutcome,
+    }
+    for job in jobs.iter() {
+        assert!(!job.samples.is_empty(), "cannot fit on an empty dataset");
+        assert!(job.config.batch_size > 0, "batch size must be positive");
+    }
+    let mut optimizers: Vec<_> = jobs.iter().map(|j| j.config.make_optimizer()).collect();
+    let mut states: Vec<UserState> = jobs
+        .iter()
+        .map(|j| UserState {
+            rng: StdRng::seed_from_u64(j.config.shuffle_seed),
+            order: (0..j.samples.len()).collect(),
+            epoch_loss: 0.0,
+            outcome: LockstepOutcome {
+                fit: FitReport {
+                    epoch_losses: Vec::with_capacity(j.config.epochs),
+                    steps: 0,
+                    samples_per_epoch: j.samples.len(),
+                },
+                flops: 0,
+                host_elapsed: Duration::ZERO,
+            },
+        })
+        .collect();
+    let max_epochs = jobs.iter().map(|j| j.config.epochs).max().unwrap_or(0);
+    for epoch in 0..max_epochs {
+        for (job, st) in jobs.iter().zip(&mut states) {
+            if epoch < job.config.epochs {
+                shuffle(&mut st.order, &mut st.rng);
+                st.epoch_loss = 0.0;
+            }
+        }
+        let max_chunks = jobs
+            .iter()
+            .map(|j| {
+                if epoch < j.config.epochs {
+                    j.samples.len().div_ceil(j.config.batch_size)
+                } else {
+                    0
+                }
+            })
+            .max()
+            .unwrap_or(0);
+        for chunk_index in 0..max_chunks {
+            for ((job, st), optimizer) in jobs.iter_mut().zip(&mut states).zip(&mut optimizers) {
+                if epoch >= job.config.epochs {
+                    continue;
+                }
+                let start = chunk_index * job.config.batch_size;
+                if start >= st.order.len() {
+                    continue;
+                }
+                let end = (start + job.config.batch_size).min(st.order.len());
+                let chunk = &st.order[start..end];
+
+                let wall = Instant::now();
+                let flops_before = thread_flops_now();
+
+                // Pack the mini-batch straight from the samples (no
+                // per-sequence clones) and keep the whole round trip in
+                // packed form; the input gradients the packed backward
+                // returns are unused here, so they are simply dropped
+                // without unpacking.
+                let batch = ChunkBatch::pack(
+                    chunk.iter().map(|&idx| &job.samples[idx].xs),
+                    job.model.input_dim(),
+                );
+                let outs = job.model.forward_chunk_packed(batch);
+                let rows: Vec<(&[f32], usize)> = chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &idx)| (outs.last_row(j), job.samples[idx].target))
+                    .collect();
+                let scored = softmax_cross_entropy_chunk(&rows);
+                let mut per_sample: Vec<(usize, Step)> = Vec::with_capacity(chunk.len());
+                for ((loss, dlogits), &idx) in scored.into_iter().zip(chunk) {
+                    st.epoch_loss += loss;
+                    per_sample.push((job.samples[idx].xs.len(), dlogits));
+                }
+                job.model.backward_chunk_from_logits_packed(per_sample);
+                optimizer.step(job.model, chunk.len());
+                st.outcome.fit.steps += 1;
+
+                st.outcome.flops += thread_flops_now().wrapping_sub(flops_before);
+                st.outcome.host_elapsed += wall.elapsed();
+            }
+        }
+        for (job, st) in jobs.iter().zip(&mut states) {
+            if epoch < job.config.epochs {
+                st.outcome.fit.epoch_losses.push(st.epoch_loss / job.samples.len() as f32);
+            }
+        }
+    }
+    states.into_iter().map(|st| st.outcome).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit;
+    use rand::RngExt as _;
+
+    fn toy_samples(n: usize, classes: usize, seed: u64) -> Vec<Sample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let c = rng.random_range(0..classes);
+                let mut x = vec![0.0; classes];
+                x[c] = 1.0;
+                Sample::new(vec![x.clone(), x], c)
+            })
+            .collect()
+    }
+
+    fn toy_model(classes: usize, seed: u64) -> SequenceModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SequenceModel::general_lstm(classes, 12, classes, 0.1, &mut rng)
+    }
+
+    #[test]
+    fn empty_cohort_is_fine() {
+        assert!(fit_lockstep(&mut []).is_empty());
+    }
+
+    #[test]
+    fn singleton_cohort_matches_fit_bitwise() {
+        let samples = toy_samples(23, 4, 7);
+        let config = TrainConfig { epochs: 3, batch_size: 8, ..TrainConfig::default() };
+
+        let mut seq_model = toy_model(4, 5);
+        let seq_report = fit(&mut seq_model, &samples, &config);
+
+        let mut lock_model = toy_model(4, 5);
+        let outcomes = fit_lockstep(&mut [LockstepJob {
+            model: &mut lock_model,
+            samples: &samples,
+            config: config.clone(),
+        }]);
+
+        assert_eq!(outcomes[0].fit, seq_report);
+        assert_eq!(
+            crate::ModelEnvelope::encode(&seq_model),
+            crate::ModelEnvelope::encode(&lock_model),
+            "lockstep weights diverged from sequential fit"
+        );
+    }
+
+    #[test]
+    fn ragged_cohort_epochs_and_chunks_drop_out() {
+        // Users with different sample counts and epoch counts: each must
+        // still match its own sequential run exactly.
+        let users: Vec<(Vec<Sample>, TrainConfig, u64)> = vec![
+            (
+                toy_samples(5, 3, 1),
+                TrainConfig { epochs: 1, batch_size: 4, shuffle_seed: 11, ..Default::default() },
+                21,
+            ),
+            (
+                toy_samples(17, 3, 2),
+                TrainConfig { epochs: 4, batch_size: 4, shuffle_seed: 12, ..Default::default() },
+                22,
+            ),
+            (
+                toy_samples(9, 3, 3),
+                TrainConfig { epochs: 2, batch_size: 16, shuffle_seed: 13, ..Default::default() },
+                23,
+            ),
+        ];
+        let mut seq_models: Vec<SequenceModel> =
+            users.iter().map(|&(_, _, ms)| toy_model(3, ms)).collect();
+        let seq_reports: Vec<FitReport> = seq_models
+            .iter_mut()
+            .zip(&users)
+            .map(|(m, (samples, config, _))| fit(m, samples, config))
+            .collect();
+
+        let mut lock_models: Vec<SequenceModel> =
+            users.iter().map(|&(_, _, ms)| toy_model(3, ms)).collect();
+        let mut jobs: Vec<LockstepJob> = lock_models
+            .iter_mut()
+            .zip(&users)
+            .map(|(model, (samples, config, _))| LockstepJob {
+                model,
+                samples,
+                config: config.clone(),
+            })
+            .collect();
+        let outcomes = fit_lockstep(&mut jobs);
+
+        for ((seq, lock), (outcome, report)) in
+            seq_models.iter().zip(&lock_models).zip(outcomes.iter().zip(&seq_reports))
+        {
+            assert_eq!(&outcome.fit, report);
+            assert_eq!(crate::ModelEnvelope::encode(seq), crate::ModelEnvelope::encode(lock));
+        }
+    }
+}

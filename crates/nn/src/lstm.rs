@@ -11,6 +11,7 @@ use pelican_tensor::{sigmoid, Matrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::chunk::ChunkBatch;
 use crate::{Sequence, Step};
 
 /// Activations cached for one timestep during the forward pass.
@@ -24,6 +25,49 @@ struct StepCache {
     g: Step,
     o: Step,
     tanh_c: Step,
+}
+
+/// Flat activation caches for one whole chunk, written by
+/// [`Lstm::forward_chunk`] and consumed by [`Lstm::backward_chunk`].
+///
+/// Rows are packed sample-major (`offsets[i] + t` addresses sample `i`,
+/// timestep `t`), so the entire chunk needs a handful of allocations
+/// instead of one [`StepCache`] (eight heap vectors) per sample-step —
+/// at mobile-scale hidden sizes the per-step allocation traffic costs
+/// more than the gate arithmetic it books. `c`/`h` store *post*-step
+/// state; the previous row (or zeros at `t == 0`) is the `c_prev` /
+/// `h_prev` the backward pass needs.
+#[derive(Debug, Clone)]
+struct ChunkCache {
+    /// Per-sample sequence lengths.
+    lens: Vec<usize>,
+    /// Row offset of each sample's `t = 0` (length `lens.len() + 1`;
+    /// the final entry is the total row count).
+    offsets: Vec<usize>,
+    /// Inputs, `total × I` — also the operand of the fused input GEMM.
+    x: Matrix,
+    /// Gate activations `[i, f, g, o]` per row, `total × 4H`.
+    gates: Vec<f32>,
+    /// Cell state after each step, `total × H`.
+    c: Vec<f32>,
+    /// `tanh` of the cell state, `total × H`.
+    tanh_c: Vec<f32>,
+    /// Hidden state after each step, `total × H`.
+    h: Vec<f32>,
+}
+
+impl Default for ChunkCache {
+    fn default() -> Self {
+        Self {
+            lens: Vec::new(),
+            offsets: vec![0],
+            x: Matrix::zeros(0, 0),
+            gates: Vec::new(),
+            c: Vec::new(),
+            tanh_c: Vec::new(),
+            h: Vec::new(),
+        }
+    }
 }
 
 /// An LSTM layer processing sequences step by step.
@@ -50,6 +94,9 @@ pub struct Lstm {
     grad_b: Vec<f32>,
     #[serde(skip)]
     cache: Vec<StepCache>,
+    /// Flat chunk caches written by [`Lstm::forward_chunk`].
+    #[serde(skip)]
+    chunk_cache: ChunkCache,
 }
 
 impl Lstm {
@@ -69,6 +116,7 @@ impl Lstm {
             grad_w_hh: None,
             grad_b: Vec::new(),
             cache: Vec::new(),
+            chunk_cache: ChunkCache::default(),
         }
     }
 
@@ -94,6 +142,7 @@ impl Lstm {
             grad_w_hh: None,
             grad_b: Vec::new(),
             cache: Vec::new(),
+            chunk_cache: ChunkCache::default(),
         }
     }
 
@@ -254,6 +303,219 @@ impl Lstm {
             out.push(h.clone());
         }
         out
+    }
+
+    /// Lockstep training-mode forward pass over a packed chunk.
+    ///
+    /// The fused-batch analogue of [`Lstm::forward`]: the input-to-hidden
+    /// pre-activations of the whole chunk run as one GEMM up front (the
+    /// input side has no recurrent dependence on `t`), and per timestep
+    /// only the recurrent half runs — one GEMM over the active samples'
+    /// previous hidden states (the [`Lstm::infer_batch`] discipline). Flat
+    /// activation caches are written for [`Lstm::backward_chunk_packed`].
+    /// Hidden states, caches and recorded FLOPs are bit-identical to
+    /// calling [`Lstm::forward`] on each sequence alone. Sequences may be
+    /// ragged; shorter ones drop out of the active set.
+    pub(crate) fn forward_chunk_packed(&mut self, x: ChunkBatch) -> ChunkBatch {
+        let ChunkBatch { lens, offsets, rows: x_all } = x;
+        let b = lens.len();
+        let h = self.hidden;
+        let total = offsets[b];
+        let max_t = lens.iter().copied().max().unwrap_or(0);
+
+        // Each output row of the fused input GEMM is the same `x · W_ihᵀ`
+        // dot product the per-timestep path computes, and the recorded
+        // FLOPs sum to the identical per-timestep total.
+        let z_ih = x_all.matmul_transpose(&self.w_ih);
+
+        let mut gates = vec![0.0f32; total * 4 * h];
+        let mut c_all = vec![0.0f32; total * h];
+        let mut tanh_c_all = vec![0.0f32; total * h];
+        let mut h_all = vec![0.0f32; total * h];
+        let mut active: Vec<usize> = Vec::with_capacity(b);
+        for t in 0..max_t {
+            active.clear();
+            active.extend((0..b).filter(|&i| t < lens[i]));
+            let rows = active.len();
+            // Only the recurrent half still advances timestep by timestep:
+            // pack the active samples' previous hidden states and run one
+            // GEMM against `W_hh`.
+            let mut h_prev = Matrix::zeros(rows, h);
+            if t > 0 {
+                for (r, &i) in active.iter().enumerate() {
+                    let prev = (offsets[i] + t - 1) * h;
+                    h_prev.row_mut(r).copy_from_slice(&h_all[prev..prev + h]);
+                }
+            }
+            let zh = h_prev.matmul_transpose(&self.w_hh);
+            for (r, &i) in active.iter().enumerate() {
+                let row = offsets[i] + t;
+                let zi = z_ih.row(row);
+                let zh_row = zh.row(r);
+                let gate_row = &mut gates[row * 4 * h..(row + 1) * 4 * h];
+                let (c_done, c_rest) = c_all.split_at_mut(row * h);
+                let c_row = &mut c_rest[..h];
+                let c_prev: &[f32] = if t == 0 { &[] } else { &c_done[(row - 1) * h..] };
+                let tanh_row = &mut tanh_c_all[row * h..(row + 1) * h];
+                let h_row = &mut h_all[row * h..(row + 1) * h];
+                // `zi + (zh + b)` — the sequential path's `z += zh + b`
+                // grouping; f32 addition is not associative.
+                for k in 0..h {
+                    let gi = sigmoid(zi[k] + (zh_row[k] + self.b[k]));
+                    let gf = sigmoid(zi[h + k] + (zh_row[h + k] + self.b[h + k]));
+                    let gg = (zi[2 * h + k] + (zh_row[2 * h + k] + self.b[2 * h + k])).tanh();
+                    let go = sigmoid(zi[3 * h + k] + (zh_row[3 * h + k] + self.b[3 * h + k]));
+                    let cp = if t == 0 { 0.0 } else { c_prev[k] };
+                    let c = gf * cp + gi * gg;
+                    let tc = c.tanh();
+                    gate_row[k] = gi;
+                    gate_row[h + k] = gf;
+                    gate_row[2 * h + k] = gg;
+                    gate_row[3 * h + k] = go;
+                    c_row[k] = c;
+                    tanh_row[k] = tc;
+                    h_row[k] = go * tc;
+                }
+            }
+        }
+        let out = ChunkBatch {
+            lens: lens.clone(),
+            offsets: offsets.clone(),
+            rows: Matrix::from_vec(total, h, h_all.clone()),
+        };
+        self.chunk_cache =
+            ChunkCache { lens, offsets, x: x_all, gates, c: c_all, tanh_c: tanh_c_all, h: h_all };
+        out
+    }
+
+    /// Lockstep backpropagation through time over a packed chunk.
+    ///
+    /// The fused-batch analogue of [`Lstm::backward`]: the per-timestep
+    /// gate gradients of all active samples are packed into one `DZ_t`
+    /// matrix so the input- and hidden-gradient products run as two GEMMs
+    /// per timestep, and the weight-gradient accumulation runs as one
+    /// fused [`Matrix::rank_updates`] per weight matrix with contributions
+    /// ordered exactly as the sequential path applies them (sample-major,
+    /// timestep-descending). Parameter gradients, input gradients and
+    /// recorded FLOPs are bit-identical to calling [`Lstm::backward`]
+    /// once per sample in chunk order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Lstm::forward_chunk_packed`] or with
+    /// mismatched gradient shapes.
+    pub(crate) fn backward_chunk_packed(&mut self, grad: ChunkBatch) -> ChunkBatch {
+        let b = grad.samples();
+        let cache = &self.chunk_cache;
+        assert_eq!(
+            grad.lens, cache.lens,
+            "backward_chunk_packed gradient lengths do not match cached chunk"
+        );
+        let h = self.hidden;
+        let total = cache.offsets[b];
+        if self.trainable {
+            self.grad_w_ih.get_or_insert_with(|| Matrix::zeros(4 * h, self.w_ih.cols()));
+            self.grad_w_hh.get_or_insert_with(|| Matrix::zeros(4 * h, h));
+            if self.grad_b.len() != self.b.len() {
+                self.grad_b = vec![0.0; self.b.len()];
+            }
+        }
+        let max_t = grad.lens.iter().copied().max().unwrap_or(0);
+        // Gate gradients for the whole chunk, packed like the forward
+        // caches (`offsets[i] + t` rows); filled timestep-descending, read
+        // back sample-major by the input-gradient GEMM and weight-gradient
+        // fusion below.
+        let mut dz_all = Matrix::zeros(total, 4 * h);
+        let mut dh_carry = Matrix::zeros(b, h);
+        let mut dc_carry = Matrix::zeros(b, h);
+        let mut active: Vec<usize> = Vec::with_capacity(b);
+        let cache = &self.chunk_cache;
+        for t in (0..max_t).rev() {
+            active.clear();
+            active.extend((0..b).filter(|&i| t < cache.lens[i]));
+            let rows = active.len();
+            let mut dz_t = Matrix::zeros(rows, 4 * h);
+            for (r, &i) in active.iter().enumerate() {
+                let row = cache.offsets[i] + t;
+                let gate_row = &cache.gates[row * 4 * h..(row + 1) * 4 * h];
+                let tanh_row = &cache.tanh_c[row * h..(row + 1) * h];
+                let c_prev: &[f32] = if t == 0 { &[] } else { &cache.c[(row - 1) * h..row * h] };
+                let dz = dz_t.row_mut(r);
+                let dh_row = dh_carry.row_mut(i);
+                let dc_row = dc_carry.row_mut(i);
+                let g_row = grad.rows.row(row);
+                for k in 0..h {
+                    let (gi, gf, gg, go) =
+                        (gate_row[k], gate_row[h + k], gate_row[2 * h + k], gate_row[3 * h + k]);
+                    let dh = g_row[k] + dh_row[k];
+                    let d_o = dh * tanh_row[k];
+                    let mut dc = dh * go * (1.0 - tanh_row[k] * tanh_row[k]);
+                    dc += dc_row[k];
+                    let di = dc * gg;
+                    let dg = dc * gi;
+                    let df = dc * if t == 0 { 0.0 } else { c_prev[k] };
+                    dz[k] = di * gi * (1.0 - gi);
+                    dz[h + k] = df * gf * (1.0 - gf);
+                    dz[2 * h + k] = dg * (1.0 - gg * gg);
+                    dz[3 * h + k] = d_o * go * (1.0 - go);
+                    dc_row[k] = dc * gf;
+                }
+            }
+            // Input and hidden gradients for all active samples in two
+            // GEMMs. `DZ_t · W` walks each row's `k` ascending with the
+            // same zero-skip as `matvec_transpose(dz)`, so the bits match
+            // the sequential per-sample products.
+            // Only the hidden gradient is recurrent (needed at `t - 1`);
+            // the input gradients are deferred to one chunk-wide GEMM
+            // after the loop.
+            let dh_t = dz_t.matmul(&self.w_hh);
+            for (r, &i) in active.iter().enumerate() {
+                let row = cache.offsets[i] + t;
+                dh_carry.row_mut(i).copy_from_slice(dh_t.row(r));
+                dz_all.row_mut(row).copy_from_slice(dz_t.row(r));
+            }
+        }
+        // Input gradients for every timestep of every sample in a single
+        // GEMM: row `offsets[i] + t` of `DZ · W_ih` is the same k-ascending
+        // zero-skipping dot the sequential `matvec_transpose(dz)` computes,
+        // and the result lands already in packed order.
+        let dx_all = dz_all.matmul(&self.w_ih);
+        if self.trainable {
+            // Sequential training applies rank-1 gradient updates sample by
+            // sample, each with `t` descending; feed the fused kernel the
+            // contributions in exactly that order.
+            let zero_h = vec![0.0f32; h];
+            let mut ih_updates = Vec::with_capacity(total);
+            let mut hh_updates = Vec::with_capacity(total);
+            for i in 0..b {
+                for t in (0..cache.lens[i]).rev() {
+                    let row = cache.offsets[i] + t;
+                    let dz = dz_all.row(row);
+                    ih_updates.push((dz, cache.x.row(row)));
+                    let h_prev: &[f32] =
+                        if t == 0 { &zero_h } else { &cache.h[(row - 1) * h..row * h] };
+                    hh_updates.push((dz, h_prev));
+                }
+            }
+            self.grad_w_ih
+                .as_mut()
+                .expect("grad buffer initialized above")
+                .rank_updates(1.0, &ih_updates);
+            self.grad_w_hh
+                .as_mut()
+                .expect("grad buffer initialized above")
+                .rank_updates(1.0, &hh_updates);
+            for i in 0..b {
+                for t in (0..cache.lens[i]).rev() {
+                    let row = cache.offsets[i] + t;
+                    let dz = dz_all.row(row);
+                    for (db, &dzv) in self.grad_b.iter_mut().zip(dz) {
+                        *db += dzv;
+                    }
+                }
+            }
+        }
+        ChunkBatch { lens: grad.lens, offsets: grad.offsets, rows: dx_all }
     }
 
     /// Backpropagation through time.

@@ -68,7 +68,7 @@ impl TrainConfig {
         Self { shuffle_seed, ..self.clone() }
     }
 
-    fn make_optimizer(&self) -> Optimizer {
+    pub(crate) fn make_optimizer(&self) -> Optimizer {
         match self.optimizer {
             OptimizerKind::Adam => Adam::new(self.lr).with_weight_decay(self.weight_decay).into(),
             OptimizerKind::Sgd => {
@@ -135,7 +135,7 @@ pub fn fit(model: &mut SequenceModel, samples: &[Sample], config: &TrainConfig) 
     report
 }
 
-fn shuffle(order: &mut [usize], rng: &mut StdRng) {
+pub(crate) fn shuffle(order: &mut [usize], rng: &mut StdRng) {
     for i in (1..order.len()).rev() {
         let j = rng.random_range(0..=i);
         order.swap(i, j);

@@ -15,10 +15,22 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static FLOPS: AtomicU64 = AtomicU64::new(0);
 
+/// FLOPs performed by *fused batched* kernels (a subset of [`FLOPS`]).
+///
+/// Batched kernels record into both counters, so `batched / total` is the
+/// fraction of work that went through a fused path — the number the
+/// `train-report` experiment uses to show how much of an epoch the
+/// lockstep path actually GEMM-ified. Equality of the *total* counter
+/// between a batched and a sequential run is the FLOP-parity contract.
+static BATCHED_FLOPS: AtomicU64 = AtomicU64::new(0);
+
 thread_local! {
     /// Per-thread mirror of the global counter, so one thread's work can
     /// be measured exactly even while other threads record concurrently.
     static THREAD_FLOPS: Cell<u64> = const { Cell::new(0) };
+
+    /// Per-thread mirror of [`BATCHED_FLOPS`].
+    static THREAD_BATCHED_FLOPS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Adds `n` floating-point operations to the process-wide counter (and
@@ -33,6 +45,19 @@ pub fn record_flops(n: u64) {
     THREAD_FLOPS.with(|c| c.set(c.get().wrapping_add(n)));
 }
 
+/// Tags `n` already-recorded FLOPs as having gone through a fused batched
+/// kernel.
+///
+/// Batched kernels call [`record_flops`] with the same count a sequence of
+/// their scalar equivalents would have recorded (the FLOP-parity
+/// contract), then call this with that count. The tag is therefore always
+/// a subset of the total: `batched_flops_now() <= flops_now()`.
+#[inline]
+pub fn note_batched_flops(n: u64) {
+    BATCHED_FLOPS.fetch_add(n, Ordering::Relaxed);
+    THREAD_BATCHED_FLOPS.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
 /// Returns the total number of FLOPs recorded since process start (or the
 /// last [`reset_flops`]).
 #[inline]
@@ -40,12 +65,27 @@ pub fn flops_now() -> u64 {
     FLOPS.load(Ordering::Relaxed)
 }
 
-/// Resets the process-wide FLOP counter to zero.
+/// Returns the FLOPs recorded by fused batched kernels since process
+/// start (or the last [`reset_flops`]).
+#[inline]
+pub fn batched_flops_now() -> u64 {
+    BATCHED_FLOPS.load(Ordering::Relaxed)
+}
+
+/// FLOPs recorded by fused batched kernels on *this thread* since it
+/// started.
+#[inline]
+pub fn thread_batched_flops_now() -> u64 {
+    THREAD_BATCHED_FLOPS.with(Cell::get)
+}
+
+/// Resets the process-wide FLOP counters (total and batched) to zero.
 ///
 /// Prefer [`FlopGuard`] for scoped measurement; resetting a global counter
 /// from concurrent experiments will interleave their counts.
 pub fn reset_flops() {
     FLOPS.store(0, Ordering::Relaxed);
+    BATCHED_FLOPS.store(0, Ordering::Relaxed);
 }
 
 /// Measures the FLOPs performed between construction and [`FlopGuard::stop`].
@@ -126,6 +166,18 @@ mod tests {
         record_flops(7);
         record_flops(3);
         assert_eq!(flops_now() - before, 10);
+    }
+
+    #[test]
+    fn batched_tag_is_a_subset_of_total() {
+        let total = ThreadFlopGuard::start();
+        let batched_before = thread_batched_flops_now();
+        record_flops(40);
+        note_batched_flops(40); // a fused kernel tags what it recorded
+        record_flops(10); // a scalar kernel records untagged
+        let batched = thread_batched_flops_now().wrapping_sub(batched_before);
+        assert_eq!(total.stop(), 50);
+        assert_eq!(batched, 40);
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub mod init;
 pub mod matrix;
 pub mod ops;
 
-pub use flops::{flops_now, reset_flops, thread_flops_now, FlopGuard, ThreadFlopGuard};
+pub use flops::{
+    batched_flops_now, flops_now, note_batched_flops, record_flops, reset_flops,
+    thread_batched_flops_now, thread_flops_now, FlopGuard, ThreadFlopGuard,
+};
 pub use init::{xavier_uniform, Init};
 pub use matrix::Matrix;
 pub use ops::{

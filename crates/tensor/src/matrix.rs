@@ -6,7 +6,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::flops::record_flops;
+use crate::flops::{note_batched_flops, record_flops};
 
 /// A dense row-major matrix of `f32` values.
 ///
@@ -345,6 +345,49 @@ impl Matrix {
         record_flops(2 * self.data.len() as u64);
     }
 
+    /// Applies a block of rank-1 updates in one fused pass — bit-identical
+    /// to calling [`rank_one_update`](Self::rank_one_update) once per
+    /// `(row, col)` pair in slice order.
+    ///
+    /// The fusion walks the output matrix row-major *once*, applying every
+    /// contribution to a row while it is hot, instead of streaming the
+    /// whole gradient matrix through cache once per contribution. Each
+    /// output element still receives its `+= alpha·rowₚ[i]·colₚ[j]` terms
+    /// in exactly the order the sequential calls would apply them (pair
+    /// `0`, then pair `1`, …), and the same `rowₚ[i] == 0.0` skip applies,
+    /// so the accumulated bits are identical. This is the backward-pass
+    /// analogue of the `infer_batch` lockstep discipline.
+    ///
+    /// Records the same FLOP count as the equivalent sequence of
+    /// [`rank_one_update`](Self::rank_one_update) calls (`2·len` per pair,
+    /// regardless of zero-skips) and tags it as batched-kernel work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector length does not match the matrix shape.
+    pub fn rank_updates(&mut self, alpha: f32, updates: &[(&[f32], &[f32])]) {
+        for &(row, col) in updates {
+            assert_eq!(row.len(), self.rows, "rank_updates row-length mismatch");
+            assert_eq!(col.len(), self.cols, "rank_updates col-length mismatch");
+        }
+        for i in 0..self.rows {
+            let out_row = &mut self.data[i * self.cols..(i + 1) * self.cols];
+            for &(row, col) in updates {
+                let r = row[i];
+                if r == 0.0 {
+                    continue;
+                }
+                let s = alpha * r;
+                for (o, &c) in out_row.iter_mut().zip(col) {
+                    *o += s * c;
+                }
+            }
+        }
+        let flops = 2 * self.data.len() as u64 * updates.len() as u64;
+        record_flops(flops);
+        note_batched_flops(flops);
+    }
+
     /// Multiplies every element by `alpha`.
     pub fn scale(&mut self, alpha: f32) {
         for v in &mut self.data {
@@ -448,6 +491,56 @@ mod tests {
         let mut m = Matrix::zeros(2, 3);
         m.rank_one_update(2.0, &[1.0, 3.0], &[4.0, 5.0, 6.0]);
         assert_eq!(m, Matrix::from_rows(&[&[8.0, 10.0, 12.0], &[24.0, 30.0, 36.0]]));
+    }
+
+    #[test]
+    fn rank_updates_bit_identical_to_sequential_calls() {
+        // Irrational-ish values so any reassociation of the f32 sums
+        // would change the bits, plus zeros to exercise the skip rule.
+        let rows: Vec<Vec<f32>> = (0..5)
+            .map(|p| {
+                (0..4)
+                    .map(|i| {
+                        if (p + i) % 3 == 0 {
+                            0.0
+                        } else {
+                            0.1 + p as f32 * 0.37 + i as f32 * 0.113
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let cols: Vec<Vec<f32>> = (0..5)
+            .map(|p| (0..3).map(|j| 0.05 + p as f32 * 0.29 + j as f32 * 0.071).collect())
+            .collect();
+        let updates: Vec<(&[f32], &[f32])> =
+            rows.iter().zip(&cols).map(|(r, c)| (r.as_slice(), c.as_slice())).collect();
+
+        let mut seq = Matrix::filled(4, 3, 0.25);
+        let seq_guard = crate::flops::ThreadFlopGuard::start();
+        for &(r, c) in &updates {
+            seq.rank_one_update(0.7, r, c);
+        }
+        let seq_flops = seq_guard.stop();
+
+        let mut fused = Matrix::filled(4, 3, 0.25);
+        let fused_guard = crate::flops::ThreadFlopGuard::start();
+        let batched_before = crate::flops::thread_batched_flops_now();
+        fused.rank_updates(0.7, &updates);
+        let fused_flops = fused_guard.stop();
+        let fused_batched = crate::flops::thread_batched_flops_now().wrapping_sub(batched_before);
+
+        assert_eq!(seq.data, fused.data, "fused rank updates diverged bitwise");
+        assert_eq!(seq_flops, fused_flops, "FLOP parity broken");
+        assert_eq!(fused_batched, fused_flops, "fused work must be tagged batched");
+    }
+
+    #[test]
+    fn rank_updates_empty_is_noop() {
+        let mut m = Matrix::filled(2, 2, 3.0);
+        let before = m.clone();
+        m.rank_updates(1.0, &[]);
+        assert_eq!(m, before);
     }
 
     #[test]
